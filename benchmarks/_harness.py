@@ -1,0 +1,54 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section: it runs the corresponding experiment at a meaningful
+(but laptop-friendly) scale, prints the same rows/series the paper
+reports next to the paper's own numbers, and asserts the qualitative
+shape (who wins, where optima/crossovers lie).
+
+The pytest-benchmark fixture wraps exactly one execution
+(``pedantic(rounds=1)``) — these are regeneration harnesses, not
+micro-benchmarks; the timing it records is the experiment's wall-clock
+cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def full_scale() -> bool:
+    """Run the full paper-scale sweep when REPRO_FULL=1 is set."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned table."""
+    widths = [max(len(str(h)), 12) for h in headers]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def paper_vs_measured(paper: str, measured: str) -> None:
+    print(f"  paper:    {paper}")
+    print(f"  measured: {measured}")

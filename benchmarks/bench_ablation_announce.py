@@ -1,0 +1,73 @@
+"""Ablation — announcement implementation (Section V, "Implementation of
+header").
+
+The paper describes two ways to let neighbors discover an ongoing
+transmission: an extra FCS after the sequence-number field (4 bytes,
+needs PHY support — their NS-2 build) or a separate small header packet
+(their testbed build).  This bench compares them, plus no announcements
+at all, on the exposed-terminal scenario at the NS-2-style fixed 6 Mbps
+and under Minstrel rate adaptation.
+"""
+
+from repro.experiments.params import testbed_params
+from repro.experiments.topologies import exposed_terminal_topology
+
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+
+MODES = (
+    ("embedded", {"announce_mode": "embedded"}),
+    ("separate", {"announce_mode": "separate"}),
+    ("none", {"announce_headers": False, "persistent_exposure": False}),
+)
+
+
+def _aggregate(params, overrides, seed, duration):
+    scenario = exposed_terminal_topology("comap", c2_x=30.0, seed=seed, params=params)
+    for node in scenario.network.nodes.values():
+        for key, value in overrides.items():
+            setattr(node.mac.config, key, value)
+    results = scenario.network.run(duration)
+    c2, ap2 = scenario.extra["c2"], scenario.extra["ap2"]
+    return (results.goodput_mbps(*scenario.tagged_flow)
+            + results.goodput_mbps(c2.node_id, ap2.node_id))
+
+
+def regenerate():
+    duration = 2.0 if full_scale() else 1.0
+    fixed = testbed_params().with_overrides(data_rate_bps=6_000_000)
+    adaptive = testbed_params()
+    out = {}
+    for label, overrides in MODES:
+        out[(label, "6 Mbps fixed")] = sum(
+            _aggregate(fixed, overrides, seed, duration) for seed in (1, 2, 3)
+        ) / 3
+        out[(label, "Minstrel")] = sum(
+            _aggregate(adaptive, overrides, seed, duration) for seed in (1, 2, 3)
+        ) / 3
+    return out
+
+
+def test_ablation_announce_mode(benchmark):
+    out = run_once(benchmark, regenerate)
+    banner("Ablation — announcement implementation on the ET scenario")
+    table(
+        ["mode", "6 Mbps fixed (Mbps)", "Minstrel (Mbps)"],
+        [
+            (label,
+             out[(label, "6 Mbps fixed")],
+             out[(label, "Minstrel")])
+            for label, _ in MODES
+        ],
+    )
+    paper_vs_measured(
+        "method 1 adds only 4 bytes but needs PHY support; method 2 works "
+        "on commodity hardware",
+        "embedded wins at a fixed low rate (earlier + cheaper detection); "
+        "separate headers at the base rate stay decodable when data rates "
+        "climb under Minstrel",
+    )
+    # Both announcement variants must beat no-announcements at fixed rate.
+    assert out[("embedded", "6 Mbps fixed")] > out[("none", "6 Mbps fixed")]
+    assert out[("separate", "6 Mbps fixed")] > out[("none", "6 Mbps fixed")]
+    # Embedded is at least competitive at the fixed rate.
+    assert out[("embedded", "6 Mbps fixed")] >= out[("separate", "6 Mbps fixed")] * 0.95

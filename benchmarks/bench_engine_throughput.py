@@ -1,0 +1,42 @@
+"""Micro-benchmark — raw event-engine and simulator throughput.
+
+Not a paper figure: tracks the substrate's performance so regressions in
+the hot path (event loop, channel notifications, DCF state machine) are
+visible.  This one uses pytest-benchmark conventionally (many rounds).
+"""
+
+from repro.experiments.params import ns2_params
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = 10_000
+
+        def chain(n):
+            if n > 0:
+                sim.schedule(10, chain, n - 1)
+
+        sim.schedule(0, chain, count)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run_events)
+    assert fired == 10_001
+
+
+def test_saturated_cell_simulation_speed(benchmark):
+    def run_cell():
+        net = Network(ns2_params(), seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        clients = [net.add_client(f"C{i}", 10 + i, 0, ap=ap) for i in range(4)]
+        net.finalize()
+        for c in clients:
+            net.add_saturated(c, ap)
+        results = net.run(0.2)
+        return results.aggregate_goodput_bps
+
+    goodput = benchmark.pedantic(run_cell, rounds=3, iterations=1)
+    assert goodput > 1e6

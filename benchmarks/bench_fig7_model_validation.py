@@ -1,0 +1,55 @@
+"""Figure 7 — analytical system model vs discrete-event simulation.
+
+Paper: the extended Bianchi model (eqs. 5-9) "can accurately capture the
+network behavior and find the best setting of parameters"; without HTs
+the largest payload + small CW is optimal, with many HTs the maximum CW
+wins and the payload optimum moves inward.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import run_model_validation
+
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+
+WINDOWS = (63, 255, 1023)
+HIDDEN = (0, 3, 5)
+
+
+def regenerate():
+    duration = 3.0 if full_scale() else 1.5
+    payloads = (200, 600, 1000, 1400, 1800) if full_scale() else (200, 1000, 1800)
+    return run_model_validation(
+        windows=WINDOWS, hidden_counts=HIDDEN, payloads=payloads,
+        duration_s=duration, seed=0,
+    )
+
+
+def test_fig7_model_validation(benchmark):
+    points = run_once(benchmark, regenerate)
+    banner("Fig. 7 — theoretical goodput vs NS-2-style simulation")
+    table(
+        ["W", "HTs", "payload (B)", "model (Mbps)", "sim (Mbps)", "err %"],
+        [
+            (p.window, p.hidden, p.payload_bytes, p.model_mbps, p.sim_mbps,
+             round((p.sim_mbps / p.model_mbps - 1) * 100, 1))
+            for p in points
+        ],
+    )
+    h0 = [p for p in points if p.hidden == 0]
+    h0_err = np.mean([abs(p.sim_mbps / p.model_mbps - 1) for p in h0])
+    all_err = np.mean([abs(p.sim_mbps / p.model_mbps - 1) for p in points])
+    paper_vs_measured(
+        "model accurately captures network behavior across W/payload/HT",
+        f"mean |error| without HTs: {h0_err * 100:.1f}%, overall: {all_err * 100:.1f}%",
+    )
+    # Without hidden terminals the model must track the simulator closely.
+    assert h0_err < 0.15
+    # Qualitative orderings under many HTs (paper's Section IV-D3 claims):
+    def sim(window, hidden, payload):
+        return next(p.sim_mbps for p in points
+                    if (p.window, p.hidden, p.payload_bytes) == (window, hidden, payload))
+
+    assert sim(1023, 5, 1000) > sim(63, 5, 1000)        # max CW wins with HTs
+    assert sim(63, 0, 1800) > sim(1023, 0, 1800)        # small CW wins without
+    assert sim(63, 0, 1800) > sim(63, 0, 200)           # big payload wins without

@@ -1,0 +1,49 @@
+"""Figure 8 — CO-MAP vs basic DCF on the exposed-terminal testbed.
+
+Paper: CO-MAP "can accurately discover the concurrent transmission
+opportunities and provide 77.5 % average increase of goodput"; the gain
+concentrates where C2 acts as an exposed terminal (20-34 m from AP1),
+and CO-MAP remains complementary to rate adaptation elsewhere.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import run_exposed_sweep
+
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+
+POSITIONS = [14.0, 18.0, 22.0, 26.0, 30.0, 34.0, 38.0, 42.0]
+ET_REGION = (26.0, 30.0, 34.0, 38.0)
+
+
+def regenerate():
+    duration = 2.0 if full_scale() else 1.0
+    repeats = 6 if full_scale() else 3
+    return run_exposed_sweep(POSITIONS, duration_s=duration, repeats=repeats, seed=3)
+
+
+def test_fig8_comap_et(benchmark):
+    points = run_once(benchmark, regenerate)
+    banner("Fig. 8 — C1->AP1 goodput: basic DCF vs CO-MAP")
+    table(
+        ["C2 position (m)", "DCF (Mbps)", "CO-MAP (Mbps)", "gain %"],
+        [
+            (p.x, p.goodput_mbps["dcf"], p.goodput_mbps["comap"],
+             round((p.goodput_mbps["comap"] / p.goodput_mbps["dcf"] - 1) * 100, 1))
+            for p in points
+        ],
+    )
+    by_x = {p.x: p.goodput_mbps for p in points}
+    region_gain = np.mean(
+        [by_x[x]["comap"] / by_x[x]["dcf"] - 1 for x in ET_REGION]
+    )
+    outside = by_x[14.0]
+    paper_vs_measured(
+        "77.5% average goodput increase in the exposed-terminal region",
+        f"{region_gain * 100:+.1f}% mean gain over the ET region "
+        f"(simulator substrate; see EXPERIMENTS.md for the gap discussion)",
+    )
+    # CO-MAP must win where exposed terminals exist...
+    assert region_gain > 0.05
+    # ... and must not hurt where they don't (header suppression).
+    assert outside["comap"] > outside["dcf"] * 0.85

@@ -1,0 +1,39 @@
+"""Figure 9 — CO-MAP vs basic DCF across hidden-terminal topologies.
+
+Paper: over 10 configurations of contending/hidden/independent clients
+around AP2, CO-MAP's (CW, payload) adaptation yields a 38.5 % mean
+goodput gain for the tagged link (34.8 % quoted in the contributions),
+lifting the HT-afflicted left tail of the CDF.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import run_ht_cdf
+from repro.util.stats import EmpiricalCdf
+
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+
+
+def regenerate():
+    duration = 4.0 if full_scale() else 2.0
+    return run_ht_cdf(duration_s=duration, seed=4)
+
+
+def test_fig9_comap_ht(benchmark):
+    samples = run_once(benchmark, regenerate)
+    banner("Fig. 9 — CDF of C1->AP1 goodput over 10 HT configurations")
+    dcf = EmpiricalCdf(samples["dcf"])
+    comap = EmpiricalCdf(samples["comap"])
+    table(
+        ["quantile", "DCF (Mbps)", "CO-MAP (Mbps)"],
+        [(q, dcf.quantile(q), comap.quantile(q)) for q in
+         (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)],
+    )
+    gain = comap.mean() / dcf.mean() - 1
+    paper_vs_measured(
+        "CO-MAP offers 38.5% mean gain of goodput (34.8% quoted for HT testbed)",
+        f"{gain * 100:+.1f}% mean gain across the 10 configurations",
+    )
+    assert gain > 0.15
+    # The left tail (HT-afflicted configurations) is lifted.
+    assert comap.quantile(0.25) > dcf.quantile(0.25)

@@ -1,0 +1,69 @@
+"""Overhead — the cost of the location exchange (Section V).
+
+Paper: "The location exchange can be done with little communication
+overhead concerning the position upload from clients to APs and download
+from APs to all other nearby clients" and, under mobility, "it only
+causes extra communication overhead when long distance movement happens."
+
+This bench quantifies both: the one-shot exchange cost as a fraction of
+one second of the floor's carried traffic, and the per-minute report
+volume of a walking client under the threshold-based update policy.
+"""
+
+from repro.experiments.topologies import office_floor_topology
+from repro.net.mobility import LinearMobility
+from repro.util.units import SECOND
+
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+
+
+def regenerate():
+    duration = 2.0 if full_scale() else 1.0
+    scenario = office_floor_topology("comap", topology_seed=1000, seed=0)
+    net = scenario.network
+    overhead_bytes = net.location_overhead_bytes()
+    results = net.run(duration)
+    carried_bytes = sum(f.delivered_bytes for f in results.flows.values())
+    carried_per_second = carried_bytes * SECOND / results.duration_ns
+
+    # Mobility: a pedestrian walking 40 m with a 5 m report threshold.
+    scenario2 = office_floor_topology("comap", topology_seed=1001, seed=1)
+    walker = scenario2.extra["clients"][0]
+    mover = LinearMobility(
+        scenario2.network, walker,
+        [(walker.position.x + 40.0, walker.position.y)],
+        speed_mps=1.4, tick_s=0.2,
+    )
+    scenario2.network.run(30.0 if full_scale() else 29.0)
+    return {
+        "overhead_bytes": overhead_bytes,
+        "carried_per_second": carried_per_second,
+        "reports": mover.reports_sent,
+        "walked_m": mover.distance_travelled_m,
+    }
+
+
+def test_location_overhead(benchmark):
+    out = run_once(benchmark, regenerate)
+    fraction = out["overhead_bytes"] / out["carried_per_second"]
+    banner("Overhead — location exchange cost (Section V)")
+    table(
+        ["quantity", "value"],
+        [
+            ("one-shot exchange (bytes)", out["overhead_bytes"]),
+            ("floor traffic (bytes/s)", int(out["carried_per_second"])),
+            ("exchange / 1 s of traffic", f"{fraction * 100:.3f}%"),
+            ("walk distance (m)", f"{out['walked_m']:.0f}"),
+            ("position reports on the walk", out["reports"]),
+        ],
+    )
+    paper_vs_measured(
+        "location exchange has little communication overhead; updates only "
+        "on significant movement",
+        f"one-shot exchange = {fraction * 100:.2f}% of one second of floor "
+        f"traffic; {out['reports']} reports over a {out['walked_m']:.0f} m walk",
+    )
+    # "Little overhead": well under 1 % of a single second of traffic.
+    assert fraction < 0.01
+    # Threshold-based reporting: ~1 report per threshold distance walked.
+    assert out["reports"] <= out["walked_m"] / 5.0 + 2

@@ -1,0 +1,52 @@
+"""Inspect a floor's interference structure, then verify CO-MAP's effect.
+
+Surveys one office-floor topology (which links have exposed-terminal
+opportunities, which have hidden terminals — the paper's "47.6 % / 19.4 %"
+statistics), runs DCF vs CO-MAP on it, and reports per-link gains with
+confidence intervals over repeated seeds.
+
+Run:  python examples/floor_inspection.py [--quick]
+"""
+
+import sys
+
+from repro.experiments.inspect import survey_network
+from repro.experiments.topologies import office_floor_topology
+from repro.util.stats import confidence_interval
+
+
+def run_floor(mac_kind: str, topology_seed: int, seed: int, duration: float):
+    scenario = office_floor_topology(mac_kind, topology_seed=topology_seed, seed=seed)
+    results = scenario.network.run(duration)
+    flows = scenario.extra["flows"]
+    mean = sum(results.goodput_mbps(*f) for f in flows) / len(flows)
+    return scenario, mean
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    duration = 0.5 if quick else 1.5
+    seeds = (0, 1) if quick else (0, 1, 2, 3, 4)
+    topology_seed = 1000
+
+    # Structure survey (positions only; no traffic needed).
+    scenario, _ = run_floor("comap", topology_seed, 0, 0.001)
+    survey = survey_network(scenario.network, scenario.extra["flows"])
+    names = {n.node_id: n.name for n in scenario.network.nodes.values()}
+    print(survey.render(names))
+
+    print("\nMean per-link goodput over repeated seeds:")
+    samples = {}
+    for mac_kind in ("dcf", "comap"):
+        values = [run_floor(mac_kind, topology_seed, seed, duration)[1]
+                  for seed in seeds]
+        samples[mac_kind] = values
+        ci = confidence_interval(values) if len(values) > 1 else None
+        print(f"  {mac_kind:>6s}: {ci} Mbps")
+    gain = (sum(samples["comap"]) / len(samples["comap"])
+            / (sum(samples["dcf"]) / len(samples["dcf"])) - 1)
+    print(f"\nCO-MAP gain on this floor: {gain * 100:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

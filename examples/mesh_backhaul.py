@@ -1,0 +1,44 @@
+"""Long-distance mesh backhaul: CO-MAP's spatial pipelining over hops.
+
+The paper's conclusion plans to deploy CO-MAP in a mesh sensor network
+for wind/water monitoring: "CO-MAP can maximize the exposed concurrent
+transmissions and mitigate collisions caused by hidden terminals of this
+long distant mesh network."  This example builds a linear mesh backhaul
+and measures end-to-end goodput under basic DCF and CO-MAP for several
+chain lengths.
+
+Run:  python examples/mesh_backhaul.py [--quick]
+"""
+
+import sys
+
+from repro.experiments.params import testbed_params
+from repro.net.mesh import build_mesh_chain
+from repro.net.network import Network
+
+
+def run_chain(mac_kind: str, hops: int, duration_s: float, seed: int = 3) -> float:
+    params = testbed_params().with_overrides(data_rate_bps=6_000_000)
+    net = Network(params, mac_kind=mac_kind, seed=seed)
+    _, router = build_mesh_chain(net, hop_count=hops, hop_length_m=8.0)
+    router.attach_saturated_source()
+    net.run(duration_s)
+    return router.stats.goodput_bps(net.sim.now) / 1e6
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    duration = 0.8 if quick else 2.0
+    print("End-to-end goodput of a linear mesh backhaul (8 m hops, 6 Mbps)\n")
+    print(f"{'hops':>5} {'DCF (Mbps)':>11} {'CO-MAP (Mbps)':>14} {'gain':>7}")
+    for hops in (4, 6, 8):
+        dcf = run_chain("dcf", hops, duration)
+        comap = run_chain("comap", hops, duration)
+        print(f"{hops:>5} {dcf:>11.3f} {comap:>14.3f} {(comap / dcf - 1) * 100:>+6.1f}%")
+    print("\nOnly links >= 5 hops apart both sense each other and pass the\n"
+          "two-sided eq. (3) test here, so pipelining gains appear once the\n"
+          "chain is long enough (8 hops) and grow with chain length.")
+
+
+if __name__ == "__main__":
+    main()

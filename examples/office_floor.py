@@ -1,0 +1,61 @@
+"""Large-scale office floor (Fig. 10) with localization-error sweep.
+
+Three co-channel APs ~60 m apart, nine clients dropped around them,
+two-way 3 Mbps CBR per client.  Compares basic DCF, CO-MAP with perfect
+positions, and CO-MAP with 10 m uniform position error, and reports the
+fraction of links with exposed-terminal opportunities.
+
+Run:  python examples/office_floor.py [--quick]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.runner import run_office_floor
+from repro.experiments.topologies import office_floor_topology
+from repro.net.localization import UniformDiskError
+from repro.util.stats import cdf_table
+
+
+def link_statistics(n_topologies: int) -> float:
+    """Fraction of links with at least one validated ET opportunity."""
+    fractions = []
+    for topo in range(n_topologies):
+        scenario = office_floor_topology("comap", topology_seed=1000 + topo)
+        net = scenario.network
+        links = scenario.extra["flows"]
+        with_et = sum(
+            bool(net.nodes[src].agent.announce_worthwhile(dst)) for src, dst in links
+        )
+        fractions.append(with_et / len(links))
+    return float(np.mean(fractions))
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    topologies = 3 if quick else 10
+    duration = 0.5 if quick else 1.5
+
+    et_fraction = link_statistics(topologies)
+    print(f"Links with exposed-terminal opportunities: {et_fraction * 100:.1f}%"
+          f"  (paper: 47.6%)\n")
+
+    variants = [
+        ("Basic DCF", "dcf", None),
+        ("CO-MAP (0)", "comap", None),
+        ("CO-MAP (10)", "comap", UniformDiskError(10.0)),
+    ]
+    samples = run_office_floor(variants, n_topologies=topologies,
+                               duration_s=duration, seed=0)
+    print("Empirical CDF of average goodput per link (Mbps):\n")
+    print(cdf_table(samples, points=6))
+    dcf = np.mean(samples["Basic DCF"])
+    print("\nMean gains over basic DCF:")
+    for label in ("CO-MAP (0)", "CO-MAP (10)"):
+        print(f"  {label}: {(np.mean(samples[label]) / dcf - 1) * 100:+.1f}%")
+    print("  (paper: +38.5% with perfect positions, +18.7% with 10 m error)")
+
+
+if __name__ == "__main__":
+    main()

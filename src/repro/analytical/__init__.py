@@ -1,0 +1,22 @@
+"""Analytical performance models (Section IV-D2, eqs. 5-9).
+
+* :mod:`repro.analytical.bianchi` — Bianchi's constant-window slot model
+  of the 802.11 DCF (the ideal-channel baseline the paper extends).
+* :mod:`repro.analytical.ht_model` — the paper's extension accounting
+  for hidden terminals via the ``((1 - tau)^h)^k`` survival factor.
+* :mod:`repro.analytical.optimizer` — grid search for the optimal
+  (contention window, payload size) per (hidden count, contender count),
+  i.e. the precomputed 2-D array of Section IV-D3.
+"""
+
+from repro.analytical.bianchi import BianchiSlotModel, SlotBreakdown
+from repro.analytical.ht_model import HtGoodputModel
+from repro.analytical.optimizer import SettingOptimizer, OptimalSetting
+
+__all__ = [
+    "BianchiSlotModel",
+    "SlotBreakdown",
+    "HtGoodputModel",
+    "SettingOptimizer",
+    "OptimalSetting",
+]

@@ -1,0 +1,82 @@
+"""Packet-size and contention-window adaptation (Section IV-D3).
+
+Binds the hidden-terminal estimator's ``(h, c)`` counts to the
+analytically optimal ``(W, payload)`` lookup.  The table is clamped at
+configured maxima (the paper precomputes a finite 2-D array), so outlier
+estimates degrade gracefully instead of triggering unbounded searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analytical.bianchi import BianchiSlotModel
+from repro.analytical.ht_model import HtGoodputModel
+from repro.analytical.optimizer import OptimalSetting, SettingOptimizer
+from repro.core.config import CoMapConfig
+
+if TYPE_CHECKING:  # hints only — core must stay import-independent of mac
+    from repro.mac.timing import PhyTiming
+    from repro.phy.rates import Rate
+
+
+@dataclass(frozen=True)
+class Setting:
+    """Advice handed to the MAC: constant CW and MSDU payload size."""
+
+    window: int
+    payload_bytes: int
+    predicted_goodput_bps: float
+
+    @staticmethod
+    def from_optimal(optimal: OptimalSetting) -> "Setting":
+        """Convert the optimizer's record into MAC-facing advice."""
+        return Setting(
+            window=optimal.window,
+            payload_bytes=optimal.payload_bytes,
+            predicted_goodput_bps=optimal.predicted_goodput_bps,
+        )
+
+
+class AdaptationTable:
+    """The precomputed best-(W, payload) matrix, evaluated lazily."""
+
+    def __init__(
+        self,
+        timing: "PhyTiming",
+        data_rate: "Rate",
+        ack_rate: "Rate",
+        config: CoMapConfig,
+        extra_header_ns: int = 0,
+    ) -> None:
+        self.config = config
+        slot_model = BianchiSlotModel(
+            timing=timing,
+            data_rate=data_rate,
+            ack_rate=ack_rate,
+            extra_header_ns=extra_header_ns,
+        )
+        self._optimizer = SettingOptimizer(
+            model=HtGoodputModel(slot_model),
+            cw_choices=config.cw_choices,
+            payload_choices=config.payload_choices,
+            attacker_window=config.attacker_window,
+            attacker_payload=config.attacker_payload,
+        )
+
+    def best_settings(self, hidden: int, contenders: int) -> Setting:
+        """Advised (W, payload) for the estimated ``(h, c)`` counts.
+
+        Counts are clamped to the table bounds, mirroring the paper's
+        finite precomputed array.
+        """
+        h = max(0, min(int(hidden), self.config.max_hidden_terminals))
+        c = max(0, min(int(contenders), self.config.max_contenders))
+        return Setting.from_optimal(self._optimizer.best(h, c))
+
+    def render(self) -> str:
+        """The full matrix, rendered for reports and examples."""
+        return self._optimizer.render_table(
+            self.config.max_hidden_terminals, self.config.max_contenders
+        )

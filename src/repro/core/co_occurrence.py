@@ -1,0 +1,89 @@
+"""The co-occurrence map (Section IV-C2).
+
+Each entry records one ongoing link ``(src, dst)`` together with the set
+of receivers this node may transmit to concurrently with that link.  For
+a client the set holds at most its associated AP; for an AP it can hold
+several clients ("an entry of co-occurrence map contains one link and all
+the potential receivers to which it can transmit concurrently").
+
+The map starts empty and is built gradually as the network operates —
+no off-line site survey — which is why lookups distinguish *unknown*
+(``None``: compute via eq. 3 and insert) from *known-disallowed*
+(``False``: stay silent without recomputing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+#: A directed link on the air: (source, destination).
+Link = Tuple[int, int]
+
+
+class CoOccurrenceMap:
+    """Per-node cache of validated concurrent-transmission opportunities."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._allowed: Dict[Link, Set[int]] = {}
+        self._denied: Dict[Link, Set[int]] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def query(self, link: Link, my_dst: int) -> Optional[bool]:
+        """Can I transmit to ``my_dst`` while ``link`` is on the air?
+
+        Returns True/False when previously validated, None when unknown.
+        """
+        self.lookups += 1
+        if my_dst in self._allowed.get(link, ()):
+            self.hits += 1
+            return True
+        if my_dst in self._denied.get(link, ()):
+            self.hits += 1
+            return False
+        return None
+
+    def record(self, link: Link, my_dst: int, allowed: bool) -> None:
+        """Store the outcome of one concurrency validation."""
+        bucket = self._allowed if allowed else self._denied
+        bucket.setdefault(link, set()).add(my_dst)
+
+    def concurrent_receivers(self, link: Link) -> List[int]:
+        """All receivers validated as concurrency-safe with ``link``."""
+        return sorted(self._allowed.get(link, ()))
+
+    def invalidate_node(self, node_id: int) -> int:
+        """Drop every entry that involves ``node_id`` (it moved or left)."""
+        removed = 0
+        for table in (self._allowed, self._denied):
+            doomed = [link for link in table if node_id in link]
+            for link in doomed:
+                removed += len(table[link])
+                del table[link]
+            for link, receivers in table.items():
+                if node_id in receivers:
+                    receivers.discard(node_id)
+                    removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Forget everything (the owner itself moved)."""
+        self._allowed.clear()
+        self._denied.clear()
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of (link, receiver) verdicts stored."""
+        return sum(len(v) for v in self._allowed.values()) + sum(
+            len(v) for v in self._denied.values()
+        )
+
+    def render(self) -> str:
+        """Human-readable dump mirroring Fig. 5's co-occurrence map."""
+        lines = [f"Co-occurrence map of node {self.owner_id}", "Source  Destination  My receivers"]
+        for (src, dst), receivers in sorted(self._allowed.items()):
+            lines.append(f"{src:>6d}  {dst:>11d}  {sorted(receivers)}")
+        if not self._allowed:
+            lines.append("(empty)")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""CO-MAP protocol configuration.
+
+Defaults follow the paper's Table I (NS-2 settings); the testbed scenarios
+override the propagation and threshold fields through
+:mod:`repro.experiments.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+@dataclass
+class CoMapConfig:
+    """Thresholds and knobs of the CO-MAP control plane.
+
+    Attributes
+    ----------
+    t_prr:
+        Concurrency-validation threshold ``T_PRR`` (Table I: 95 %).  Both
+        directions of the mutual-impact test must clear it.
+    t_sir_db:
+        Required signal-to-interference ratio used inside the PRR model —
+        the paper sets it to the threshold of the *lowest* rate (4 dB on
+        the testbed) or 10 for NS-2.
+    hidden_prob_threshold:
+        A neighbor is treated as hidden when its carrier-sense-miss
+        probability (eq. 4) exceeds this (paper: 0.9).
+    interference_prr_floor:
+        A neighbor counts as an interferer of a link when its concurrent
+        transmission would push the link PRR below this value.
+    sr_window:
+        Selective-repeat ARQ sending window ``W_send``.
+    position_update_threshold_m:
+        A node re-reports its position after moving this far — the paper
+        sets it to half of the highest tolerable position inaccuracy.
+    cw_choices / payload_choices:
+        The grid the adaptation optimizer searches (Section IV-D3's
+        precomputed 2-D array).
+    """
+
+    t_prr: float = 0.95
+    t_sir_db: float = 10.0
+    hidden_prob_threshold: float = 0.9
+    interference_prr_floor: float = 0.5
+    sr_window: int = 8
+    #: Announcement implementation: "separate" header packet (testbed
+    #: method, robust under rate adaptation) or "embedded" 4-byte early
+    #: FCS (NS-2 method, cheaper and earlier, but overhearers must decode
+    #: at the data rate).
+    announce_mode: str = "separate"
+    #: Contention window assumed for non-adaptive hidden terminals when
+    #: precomputing the (CW, payload) table.  ``None`` restores the
+    #: paper's homogeneous assumption (attackers share the tagged
+    #: station's window) — kept as an ablation, since against saturated
+    #: legacy interferers the homogeneous table advises pathologically
+    #: large windows.
+    attacker_window: int = 32
+    #: Payload size assumed for non-adaptive hidden terminals (bytes).
+    attacker_payload: int = 1000
+    position_update_threshold_m: float = 5.0
+    cw_choices: Tuple[int, ...] = (31, 63, 127, 255, 511, 1023)
+    payload_choices: Tuple[int, ...] = tuple(range(100, 2001, 100))
+    max_hidden_terminals: int = 10
+    max_contenders: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t_prr < 1.0:
+            raise ValueError(f"t_prr must lie in (0, 1), got {self.t_prr}")
+        if not 0.0 < self.hidden_prob_threshold < 1.0:
+            raise ValueError("hidden_prob_threshold must lie in (0, 1)")
+        if not 0.0 < self.interference_prr_floor < 1.0:
+            raise ValueError("interference_prr_floor must lie in (0, 1)")
+        if self.sr_window < 1:
+            raise ValueError("selective-repeat window must be at least 1")
+        if self.announce_mode not in ("separate", "embedded"):
+            raise ValueError("announce_mode must be 'separate' or 'embedded'")
+        if self.position_update_threshold_m < 0:
+            raise ValueError("position update threshold cannot be negative")
+        if not self.cw_choices or not self.payload_choices:
+            raise ValueError("adaptation grids cannot be empty")

@@ -1,0 +1,269 @@
+"""The CO-MAP agent: one node's complete control plane.
+
+Composes the Fig. 5 pipeline (neighbor table → PRR table → co-occurrence
+map), the hidden-terminal estimator and the adaptation table behind a
+small API that the CO-MAP MAC queries at runtime:
+
+* :meth:`CoMapAgent.concurrency_allowed` — "can I transmit to X while
+  link (S, R) is on the air?", answered from the co-occurrence map when
+  cached, from eq. (3) otherwise (and then cached);
+* :meth:`CoMapAgent.choose_receiver` — for APs: pick a queued receiver
+  that passes validation ("it may choose another receiver further away
+  from the current transmitter and verify again");
+* :meth:`CoMapAgent.link_counts` / :meth:`CoMapAgent.advised_settings` —
+  the (h, c) estimate and the resulting optimal (CW, payload).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.adaptation import AdaptationTable, Setting
+from repro.core.co_occurrence import CoOccurrenceMap
+from repro.core.concurrency import ConcurrencyValidator, ValidationResult
+from repro.core.config import CoMapConfig
+from repro.core.ht_estimation import HtEstimator
+from repro.core.neighbor_table import NeighborTable
+from repro.core.prr_table import PrrTable
+from repro.phy.prr import PrrModel
+from repro.phy.propagation import LogNormalShadowing
+from repro.util.geometry import Point
+
+
+class CoMapAgent:
+    """Location-driven interference reasoning for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        propagation: LogNormalShadowing,
+        config: CoMapConfig,
+        tx_power_dbm: float,
+        t_cs_dbm: float,
+        adaptation: Optional[AdaptationTable] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.model = PrrModel(propagation=propagation, t_sir_db=config.t_sir_db)
+        self.neighbor_table = NeighborTable(node_id)
+        self.prr_table = PrrTable()
+        self.co_map = CoOccurrenceMap(node_id)
+        self.validator = ConcurrencyValidator(self.model, config.t_prr)
+        self.estimator = HtEstimator(
+            model=self.model,
+            tx_power_dbm=tx_power_dbm,
+            t_cs_dbm=t_cs_dbm,
+            hidden_prob_threshold=config.hidden_prob_threshold,
+            interference_prr_floor=config.interference_prr_floor,
+        )
+        self.adaptation = adaptation
+        self._last_reported_position: Optional[Point] = None
+        self._announce_worthwhile: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Location exchange
+    # ------------------------------------------------------------------
+    def observe_neighbor(
+        self,
+        node_id: int,
+        position: Point,
+        is_ap: bool = False,
+        associated_ap: Optional[int] = None,
+        now: int = 0,
+    ) -> None:
+        """Ingest one position report (from the AP's redistribution).
+
+        A position change invalidates every cached PRR / co-occurrence
+        verdict involving that node — this is the "rapid update" property
+        that makes CO-MAP suitable for mobile WLANs.
+        """
+        previous = self.neighbor_table.position_of(node_id)
+        self.neighbor_table.update(
+            node_id, position, is_ap=is_ap, associated_ap=associated_ap, now=now
+        )
+        self._announce_worthwhile.clear()
+        if previous is not None and previous != position:
+            if node_id == self.node_id:
+                self.prr_table.clear()
+                self.co_map.clear()
+            else:
+                self.prr_table.invalidate_node(node_id)
+                self.co_map.invalidate_node(node_id)
+
+    def should_report_move(self, current: Point) -> bool:
+        """Mobility management (Section V): report only significant moves.
+
+        A node re-reports its position only when it has moved more than
+        the configured threshold (half the tolerable inaccuracy).
+        """
+        if self._last_reported_position is None:
+            return True
+        moved = self._last_reported_position.distance_to(current)
+        return moved > self.config.position_update_threshold_m
+
+    def mark_reported(self, position: Point) -> None:
+        """Record that this node just broadcast ``position``."""
+        self._last_reported_position = position
+
+    # ------------------------------------------------------------------
+    # Exposed-terminal path
+    # ------------------------------------------------------------------
+    def concurrency_allowed(
+        self, ongoing_src: int, ongoing_dst: int, my_dst: int
+    ) -> bool:
+        """Full lookup path: co-occurrence map, then eq. (3), then cache."""
+        link = (ongoing_src, ongoing_dst)
+        cached = self.co_map.query(link, my_dst)
+        if cached is not None:
+            return cached
+        result = self.validate(ongoing_src, ongoing_dst, my_dst)
+        self.co_map.record(link, my_dst, result.allowed)
+        return result.allowed
+
+    def validate(
+        self, ongoing_src: int, ongoing_dst: int, my_dst: int
+    ) -> ValidationResult:
+        """Run (and cache in the PRR table) one eq. (3) validation."""
+        cached = self.prr_table.lookup(ongoing_src, ongoing_dst, my_dst)
+        if cached is not None:
+            allowed = cached.passes(self.config.t_prr)
+            return ValidationResult(
+                allowed, cached.prr_theirs, cached.prr_mine, "from PRR table"
+            )
+        result = self.validator.validate(
+            self.neighbor_table, ongoing_src, ongoing_dst, self.node_id, my_dst
+        )
+        self.prr_table.store(ongoing_src, ongoing_dst, my_dst, result.as_entry())
+        return result
+
+    def predicted_concurrent_sir_db(self, ongoing_src: int, my_dst: int) -> Optional[float]:
+        """Expected SIR at my receiver while ``ongoing_src`` transmits.
+
+        From eq. (1) with equal transmit powers the mean SIR is
+        ``10 alpha log10(r2 / d2)`` (``d2`` = me→my receiver, ``r2`` =
+        ongoing transmitter→my receiver).  Used to pick a safe data rate
+        for an exposed concurrent transmission — "a higher data rate could
+        be adapted if [the node] is located further away".
+        Returns None when positions are missing.
+        """
+        d2 = self.neighbor_table.distance(self.node_id, my_dst)
+        r2 = self.neighbor_table.distance(ongoing_src, my_dst)
+        if d2 is None or r2 is None or d2 <= 0 or r2 <= 0:
+            return None
+        alpha = self.model.propagation.alpha
+        return 10.0 * alpha * math.log10(r2 / d2)
+
+    def announce_worthwhile(self, my_dst: int) -> bool:
+        """Should transmissions to ``my_dst`` carry an announcement header?
+
+        A header only helps if some neighbor could legally transmit
+        concurrently with our link — i.e. there exists a neighbor ``n``
+        (with its own receiver) for which the two-sided eq. (3) test
+        passes against the ongoing link (me → my_dst).  When positions
+        rule that out for every neighbor, the header is pure overhead and
+        is suppressed.  Results are cached and invalidated on any
+        position update.
+        """
+        cached = self._announce_worthwhile.get(my_dst)
+        if cached is not None:
+            return cached
+        worthwhile = False
+        table = self.neighbor_table
+        for entry in table.neighbors():
+            n = entry.node_id
+            if n in (self.node_id, my_dst):
+                continue
+            receivers = self._plausible_receivers(entry)
+            for n_dst in receivers:
+                result = self.validator.validate(
+                    table, ongoing_src=self.node_id, ongoing_dst=my_dst,
+                    me=n, my_dst=n_dst,
+                )
+                if result.allowed:
+                    worthwhile = True
+                    break
+            if worthwhile:
+                break
+        self._announce_worthwhile[my_dst] = worthwhile
+        return worthwhile
+
+    def _plausible_receivers(self, entry) -> list:
+        """Receivers a neighbor would realistically transmit to."""
+        if not entry.is_ap:
+            return [entry.associated_ap] if entry.associated_ap is not None else []
+        clients = [
+            e.node_id
+            for e in self.neighbor_table.neighbors()
+            if e.associated_ap == entry.node_id
+        ]
+        if clients:
+            return clients
+        # A clientless AP is a mesh station: its peers are the plausible
+        # receivers (the paper's conclusion applies CO-MAP to mesh
+        # networks where "the locations of mesh stations are prior
+        # knowledge").
+        return [
+            e.node_id
+            for e in self.neighbor_table.neighbors(exclude_self=False)
+            if e.is_ap and e.node_id != entry.node_id
+        ]
+
+    def choose_receiver(
+        self, candidates: Iterable[int], ongoing_src: int, ongoing_dst: int
+    ) -> Optional[int]:
+        """First candidate receiver that passes concurrency validation."""
+        for dst in candidates:
+            if self.concurrency_allowed(ongoing_src, ongoing_dst, dst):
+                return dst
+        return None
+
+    def concurrency_allowed_multi(self, ongoing_links, my_dst: int) -> bool:
+        """Joint validation against several simultaneous ongoing links.
+
+        The paper defers multi-interferer aggregation to future work;
+        this extension checks each ongoing receiver individually and my
+        own receiver against the power-summed interference (not cached —
+        link combinations are too numerous for the co-occurrence map).
+        """
+        result = self.validator.validate_multi(
+            self.neighbor_table, ongoing_links, self.node_id, my_dst
+        )
+        return result.allowed
+
+    # ------------------------------------------------------------------
+    # Hidden-terminal path
+    # ------------------------------------------------------------------
+    def link_counts(self, receiver: int) -> Tuple[int, int]:
+        """``(N_ht, c)`` for the link from this node to ``receiver``."""
+        counts = self.estimator.counts(self.neighbor_table, self.node_id, receiver)
+        return counts["hidden"], counts["contenders"]
+
+    def hidden_terminals(self, receiver: int):
+        """Node ids classified as HTs of the link to ``receiver``."""
+        return self.estimator.hidden_terminals(
+            self.neighbor_table, self.node_id, receiver
+        )
+
+    def advised_settings(self, receiver: int) -> Optional[Setting]:
+        """Optimal (CW, payload) for the current (h, c) estimate.
+
+        Returns None when no adaptation table was configured.
+        """
+        if self.adaptation is None:
+            return None
+        hidden, contenders = self.link_counts(receiver)
+        return self.adaptation.best_settings(hidden, contenders)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line dump of the Fig. 5 pipeline state."""
+        return "\n\n".join(
+            [
+                self.neighbor_table.render(),
+                self.prr_table.render(),
+                self.co_map.render(),
+            ]
+        )

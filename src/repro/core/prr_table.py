@@ -1,0 +1,82 @@
+"""The PRR table (Fig. 5): cached mutual-interference estimates.
+
+For each (ongoing link, candidate receiver) combination the table stores
+the two packet-reception rates of the concurrency-validation test:
+
+* ``prr_theirs`` — eq. (3) with ``d1`` (ongoing sender→receiver) and
+  ``r1`` (me→ongoing receiver): how badly *my* transmission would hurt
+  the ongoing link;
+* ``prr_mine`` — eq. (3) with ``d2`` (me→my receiver) and ``r2``
+  (ongoing sender→my receiver): how badly the ongoing transmission
+  would hurt *me*.
+
+Entries are invalidated whenever any involved node reports a new position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Cache key: (ongoing_src, ongoing_dst, my_dst).
+PrrKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PrrEntry:
+    """Cached pair of reception probabilities for one link combination."""
+
+    prr_theirs: float
+    prr_mine: float
+
+    def passes(self, t_prr: float) -> bool:
+        """True when both directions clear the validation threshold."""
+        return self.prr_theirs >= t_prr and self.prr_mine >= t_prr
+
+
+class PrrTable:
+    """Cache of concurrency-validation computations for one node."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[PrrKey, PrrEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, ongoing_src: int, ongoing_dst: int, my_dst: int) -> Optional[PrrEntry]:
+        """Return the cached entry or None (and count hit/miss)."""
+        entry = self._entries.get((ongoing_src, ongoing_dst, my_dst))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(
+        self, ongoing_src: int, ongoing_dst: int, my_dst: int, entry: PrrEntry
+    ) -> None:
+        """Insert a computed entry."""
+        self._entries[(ongoing_src, ongoing_dst, my_dst)] = entry
+
+    def invalidate_node(self, node_id: int) -> int:
+        """Drop every entry involving ``node_id``; returns how many."""
+        doomed = [key for key in self._entries if node_id in key]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (e.g. after this node itself moved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def render(self) -> str:
+        """Human-readable dump mirroring Fig. 5's PRR table."""
+        lines = ["link (src->dst) vs my rx    PRR(theirs)  PRR(mine)"]
+        for (src, dst, mine), entry in sorted(self._entries.items()):
+            lines.append(
+                f"{src}->{dst} with me->{mine:<4d}   "
+                f"{entry.prr_theirs:10.1%} {entry.prr_mine:10.1%}"
+            )
+        return "\n".join(lines)

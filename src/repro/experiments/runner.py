@@ -1,0 +1,251 @@
+"""Experiment runners: sweep + aggregate logic for every figure.
+
+Each ``run_*`` function regenerates the data series behind one figure of
+the paper's evaluation and returns plain Python structures (lists of
+rows) that the benches print and assert on.  Durations and repetition
+counts are parameters so tests can run scaled-down versions quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analytical.bianchi import BianchiSlotModel
+from repro.analytical.ht_model import HtGoodputModel
+from repro.experiments.metrics import average_link_goodput_mbps
+from repro.experiments.params import ScenarioParams, ht_params
+from repro.experiments.topologies import (
+    exposed_terminal_topology,
+    fig9_configurations,
+    ht_adaptation_topology,
+    model_validation_topology,
+    multi_et_topology,
+    office_floor_topology,
+    rival_et_topology,
+)
+from repro.net.localization import PositionErrorModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a 1-D sweep: x value and goodput per MAC variant."""
+
+    x: float
+    goodput_mbps: Dict[str, float]
+
+
+def run_exposed_sweep(
+    positions_m: Sequence[float],
+    mac_kinds: Sequence[str] = ("dcf", "comap"),
+    duration_s: float = 2.0,
+    repeats: int = 3,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+    error_model: Optional[PositionErrorModel] = None,
+) -> List[SweepPoint]:
+    """Figs. 1 and 8: tagged-link goodput vs. C2's position."""
+    points: List[SweepPoint] = []
+    for x in positions_m:
+        row: Dict[str, float] = {}
+        for mac_kind in mac_kinds:
+            total = 0.0
+            for rep in range(repeats):
+                scenario = exposed_terminal_topology(
+                    mac_kind,
+                    c2_x=x,
+                    seed=seed + 1000 * rep,
+                    params=params,
+                    error_model=error_model,
+                )
+                total += scenario.run_goodput_mbps(duration_s)
+            row[mac_kind] = total / repeats
+        points.append(SweepPoint(x=float(x), goodput_mbps=row))
+    return points
+
+
+def run_payload_sweep(
+    payloads: Sequence[int],
+    hidden_counts: Sequence[int] = (0, 1),
+    duration_s: float = 2.0,
+    repeats: int = 3,
+    seed: int = 0,
+    mac_kind: str = "dcf",
+    params: Optional[ScenarioParams] = None,
+) -> Dict[int, List[SweepPoint]]:
+    """Fig. 2: goodput vs. payload size for each hidden-terminal count."""
+    from repro.experiments.topologies import hidden_terminal_topology
+
+    curves: Dict[int, List[SweepPoint]] = {}
+    for n_ht in hidden_counts:
+        series: List[SweepPoint] = []
+        for payload in payloads:
+            total = 0.0
+            for rep in range(repeats):
+                scenario = hidden_terminal_topology(
+                    mac_kind,
+                    payload_bytes=payload,
+                    n_ht=n_ht,
+                    seed=seed + 1000 * rep,
+                    params=params,
+                )
+                total += scenario.run_goodput_mbps(duration_s)
+            series.append(
+                SweepPoint(x=float(payload), goodput_mbps={mac_kind: total / repeats})
+            )
+        curves[n_ht] = series
+    return curves
+
+
+@dataclass(frozen=True)
+class ModelValidationPoint:
+    """One Fig. 7 point: analytical prediction vs. simulated measurement."""
+
+    window: int
+    hidden: int
+    payload_bytes: int
+    model_mbps: float
+    sim_mbps: float
+
+
+def run_model_validation(
+    windows: Sequence[int] = (63, 255, 1023),
+    hidden_counts: Sequence[int] = (0, 3, 5),
+    payloads: Sequence[int] = (200, 600, 1000, 1400, 1800),
+    contenders: int = 5,
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> List[ModelValidationPoint]:
+    """Fig. 7: the HT goodput model against the discrete-event simulator."""
+    params = ht_params()
+    data_rate = params.rates.by_bps(params.data_rate_bps)
+    model = HtGoodputModel(
+        BianchiSlotModel(params.timing, data_rate, params.rates.base)
+    )
+    points: List[ModelValidationPoint] = []
+    for hidden in hidden_counts:
+        for window in windows:
+            for payload in payloads:
+                predicted = model.goodput_bps(window, contenders, hidden, payload) / 1e6
+                scenario = model_validation_topology(
+                    window=window,
+                    payload_bytes=payload,
+                    hidden=hidden,
+                    contenders=contenders,
+                    seed=seed,
+                )
+                measured = scenario.run_goodput_mbps(duration_s)
+                points.append(
+                    ModelValidationPoint(
+                        window=window,
+                        hidden=hidden,
+                        payload_bytes=payload,
+                        model_mbps=predicted,
+                        sim_mbps=measured,
+                    )
+                )
+    return points
+
+
+def run_ht_cdf(
+    mac_kinds: Sequence[str] = ("dcf", "comap"),
+    duration_s: float = 2.0,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+) -> Dict[str, List[float]]:
+    """Fig. 9: tagged-link goodput across the 10 HT topology configurations."""
+    samples: Dict[str, List[float]] = {kind: [] for kind in mac_kinds}
+    for index, slots in enumerate(fig9_configurations()):
+        for mac_kind in mac_kinds:
+            scenario = ht_adaptation_topology(
+                mac_kind, slots=slots, seed=seed + index, params=params
+            )
+            samples[mac_kind].append(scenario.run_goodput_mbps(duration_s))
+    return samples
+
+
+def run_office_floor(
+    variants: Sequence[Tuple[str, str, Optional[PositionErrorModel]]],
+    n_topologies: int = 30,
+    duration_s: float = 2.0,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+) -> Dict[str, List[float]]:
+    """Fig. 10: per-topology average link goodput for each protocol variant.
+
+    ``variants`` is a list of (label, mac_kind, error_model) triples, e.g.
+    ``[("Basic DCF", "dcf", None), ("CO-MAP (0)", "comap", None),
+    ("CO-MAP (10)", "comap", UniformDiskError(10.0))]``.
+    """
+    samples: Dict[str, List[float]] = {label: [] for label, _, _ in variants}
+    for topo in range(n_topologies):
+        for label, mac_kind, error_model in variants:
+            scenario = office_floor_topology(
+                mac_kind,
+                topology_seed=1000 + topo,
+                seed=seed + topo,
+                params=params,
+                error_model=error_model,
+            )
+            results = scenario.network.run(duration_s)
+            samples[label].append(
+                average_link_goodput_mbps(results, scenario.extra["flows"])
+            )
+    return samples
+
+
+def run_multi_et(
+    duration_s: float = 2.0,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+) -> Dict[str, float]:
+    """Fig. 6: aggregate goodput of three mutually-exposed links.
+
+    Compares basic DCF, CO-MAP with the enhanced scheduler, and CO-MAP
+    with the scheduler disabled (the CCA-override ablation).
+    """
+    outcomes: Dict[str, float] = {}
+    configs = [
+        ("dcf", "dcf", True),
+        ("comap", "comap", True),
+        ("comap-no-scheduler", "comap", False),
+    ]
+    for label, mac_kind, scheduler in configs:
+        scenario = multi_et_topology(
+            mac_kind, seed=seed, params=params, enhanced_scheduler=scheduler
+        )
+        results = scenario.network.run(duration_s)
+        outcomes[label] = results.aggregate_goodput_bps / 1e6
+    return outcomes
+
+
+def run_rival_et(
+    duration_s: float = 1.0,
+    seeds: Sequence[int] = (1, 2, 3),
+    params: Optional[ScenarioParams] = None,
+) -> Dict[str, float]:
+    """Enhanced-scheduler ablation: two rival ETs sharing one receiver.
+
+    Returns the mean aggregate goodput (Mbit/s) of the two exposed links
+    under basic DCF, CO-MAP with the enhanced scheduler, and CO-MAP with
+    the scheduler disabled (rival ETs collide at the shared AP).
+    """
+    outcomes: Dict[str, float] = {}
+    configs = [
+        ("dcf", "dcf", True),
+        ("comap", "comap", True),
+        ("comap-no-scheduler", "comap", False),
+    ]
+    for label, mac_kind, scheduler in configs:
+        total = 0.0
+        for seed in seeds:
+            scenario = rival_et_topology(
+                mac_kind, seed=seed, params=params, enhanced_scheduler=scheduler
+            )
+            results = scenario.network.run(duration_s)
+            e1, e2 = scenario.extra["e1"], scenario.extra["e2"]
+            ap1 = scenario.extra["ap1"]
+            total += results.goodput_mbps(e1.node_id, ap1.node_id)
+            total += results.goodput_mbps(e2.node_id, ap1.node_id)
+        outcomes[label] = total / len(seeds)
+    return outcomes

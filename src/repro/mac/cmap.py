@@ -1,0 +1,239 @@
+"""CMAP-style baseline: a conflict map *learned from losses*.
+
+The paper's closest related work for exposed terminals is CMAP
+(Vutukuru et al., NSDI'08), which "passively monitors the network
+traffic to build a conflict map with potentially interfering links.  It
+suffers nevertheless from losses until conflict map entries populated."
+CO-MAP's pitch against it is the *rapid update*: positions rebuild the
+co-occurrence map instantly after mobility, while an empirical map must
+re-learn through collisions.
+
+This module implements that baseline so the claim can be measured:
+
+* transmissions are announced with the same header frames CO-MAP uses
+  (an identification substrate both schemes need);
+* on overhearing a header for link L while holding a frame for ``dst``,
+  the MAC consults its empirical table for (L, dst):
+  - fewer than ``min_trials`` attempts -> **probe** (transmit
+    concurrently and see what happens — this is where the learning
+    losses come from);
+  - otherwise allow concurrency iff the observed success rate clears
+    ``success_threshold`` (with an occasional epsilon re-probe so the
+    map can recover from stale negatives);
+* every concurrent attempt's ACK outcome updates the entry.
+
+Everything else (backoff-through-busy during an accepted opportunity,
+half-duplex guards) mirrors the CO-MAP MAC so the comparison isolates
+*how the map is built*, not the transmission machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.mac.dcf import DcfMac, MacConfig, MacState, Mpdu
+from repro.mac.frames import Frame, FrameType
+from repro.sim.engine import EventHandle
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class CmapMacConfig(MacConfig):
+    """Knobs of the loss-learning conflict map."""
+
+    announce_headers: bool = True
+    #: Attempts before an entry's verdict is trusted.
+    min_trials: int = 4
+    #: Concurrency allowed when the observed success rate clears this.
+    success_threshold: float = 0.7
+    #: Probability of re-probing a learned-negative entry.
+    reprobe_probability: float = 0.02
+    #: Safety slack past the announced duration.
+    opportunity_slack_ns: int = 400_000
+
+
+@dataclass
+class _Entry:
+    """Empirical concurrency statistics for one (link, receiver) pair."""
+
+    attempts: int = 0
+    successes: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.attempts if self.attempts else 0.0
+
+
+@dataclass
+class CmapStats:
+    """Counters specific to the learned conflict map."""
+
+    headers_sent: int = 0
+    probes: int = 0
+    concurrent_transmissions: int = 0
+    learned_allowed: int = 0
+    learned_denied: int = 0
+    reprobes: int = 0
+
+
+class CmapMac(DcfMac):
+    """DCF extended with loss-learned exposed-terminal concurrency."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.config, CmapMacConfig):
+            raise TypeError("CmapMac requires a CmapMacConfig")
+        self.cmap_stats = CmapStats()
+        self._conflict_map: Dict[Tuple[int, int, int], _Entry] = {}
+        self._opportunity_link: Optional[Link] = None
+        self._opportunity_expiry: Optional[EventHandle] = None
+        self._pending_link: Optional[Link] = None
+        self._pending_duration_ns = 0
+        self._pending_baseline_mw = 0.0
+        self._attempt_was_concurrent = False
+        self._inflight_link: Optional[Link] = None
+        self._probe_rng = self._rng  # reuse the backoff stream's generator
+
+    # ------------------------------------------------------------------
+    # The learned map
+    # ------------------------------------------------------------------
+    def entry(self, link: Link, dst: int) -> _Entry:
+        """The empirical record for transmitting to ``dst`` during ``link``."""
+        return self._conflict_map.setdefault((link[0], link[1], dst), _Entry())
+
+    def _decide(self, link: Link, dst: int) -> bool:
+        """Probe-then-exploit decision for one opportunity."""
+        entry = self.entry(link, dst)
+        if entry.attempts < self.config.min_trials:
+            self.cmap_stats.probes += 1
+            return True
+        if entry.success_rate >= self.config.success_threshold:
+            self.cmap_stats.learned_allowed += 1
+            return True
+        if self._probe_rng.random() < self.config.reprobe_probability:
+            self.cmap_stats.reprobes += 1
+            return True
+        self.cmap_stats.learned_denied += 1
+        return False
+
+    def _record_outcome(self, link: Link, dst: int, success: bool) -> None:
+        entry = self.entry(link, dst)
+        entry.attempts += 1
+        if success:
+            entry.successes += 1
+
+    def map_size(self) -> int:
+        """Number of (link, receiver) entries learned so far."""
+        return len(self._conflict_map)
+
+    # ------------------------------------------------------------------
+    # Announcements (same substrate as CO-MAP)
+    # ------------------------------------------------------------------
+    def _compose_frames(self, head: Mpdu, rate):
+        data = self._build_data_frame(head, rate)
+        if self._opportunity_link is not None:
+            data.meta["exposed"] = True
+            data.meta["exposed_link"] = self._opportunity_link
+        if not self.config.announce_headers:
+            return [data]
+        self.cmap_stats.headers_sent += 1
+        header = Frame(
+            kind=FrameType.COMAP_HEADER,
+            src=self.node_id,
+            dst=head.dst,
+            rate=self.rates.base,
+            seq=head.seq,
+            flow=head.flow,
+            meta={"dur": self.timing.frame_airtime_ns(data)},
+        )
+        return [header, data]
+
+    # ------------------------------------------------------------------
+    # Opportunity lifecycle (header-gated, like CO-MAP's basic mode)
+    # ------------------------------------------------------------------
+    def on_header_overheard(self, frame: Frame, rssi_dbm: float) -> None:
+        if self._state is not MacState.CONTEND or self._head is None:
+            return
+        if self._opportunity_link is not None or self._pending_link is not None:
+            return
+        link = (frame.src, frame.dst)
+        if link[0] == self._head.dst or link[1] == self._head.dst:
+            return
+        if not self._decide(link, self._head.dst):
+            return
+        self._pending_link = link
+        self._pending_baseline_mw = self.radio.energy_mw()
+        self._pending_duration_ns = int(frame.meta.get("dur", 0))
+
+    def on_energy_changed(self, energy_mw: float) -> None:
+        if self._pending_link is None:
+            return
+        if energy_mw <= self._pending_baseline_mw:
+            return
+        self._opportunity_link = self._pending_link
+        self._pending_link = None
+        horizon = self._pending_duration_ns + self.config.opportunity_slack_ns
+        self._opportunity_expiry = self.sim.schedule(horizon, self._expire_opportunity)
+        self._resume_contention()
+
+    def _expire_opportunity(self) -> None:
+        self._opportunity_expiry = None
+        self._clear_opportunity()
+        if self._state is MacState.CONTEND and self.radio.medium_busy():
+            self._freeze_contention()
+
+    def _clear_opportunity(self) -> None:
+        if self._opportunity_expiry is not None:
+            self._opportunity_expiry.cancel()
+            self._opportunity_expiry = None
+        self._opportunity_link = None
+        self._pending_link = None
+
+    def _should_ignore_busy(self) -> bool:
+        if self.radio.transmitting:
+            return False
+        return self._opportunity_link is not None
+
+    def on_medium_idle(self) -> None:
+        if self._opportunity_link is not None:
+            self._clear_opportunity()
+        super().on_medium_idle()
+
+    def _transmit_head(self) -> None:
+        self._attempt_was_concurrent = self._opportunity_link is not None
+        self._inflight_link = self._opportunity_link
+        if self._attempt_was_concurrent:
+            self.cmap_stats.concurrent_transmissions += 1
+        try:
+            super()._transmit_head()
+        finally:
+            # The link identity is kept in _inflight_link; the episode
+            # itself ends with this attempt (per-header gating).
+            self._clear_opportunity()
+
+    # ------------------------------------------------------------------
+    # Learning from outcomes
+    # ------------------------------------------------------------------
+    def _accept_ack(self, ack: Frame) -> None:
+        if (
+            self._state is MacState.WAIT_ACK
+            and self._head is not None
+            and ack.flow == self._head.flow
+            and ack.seq == self._head.seq
+            and self._attempt_was_concurrent
+            and self._inflight_link is not None
+        ):
+            self._record_outcome(self._inflight_link, self._head.dst, success=True)
+            self._attempt_was_concurrent = False
+        super()._accept_ack(ack)
+
+    def _handle_ack_timeout(self, frame: Frame) -> None:
+        if self._attempt_was_concurrent and self._inflight_link is not None:
+            self._record_outcome(self._inflight_link, frame.dst, success=False)
+            self._attempt_was_concurrent = False
+        super()._handle_ack_timeout(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CmapMac node={self.node_id} entries={self.map_size()}>"

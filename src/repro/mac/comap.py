@@ -1,0 +1,630 @@
+"""The CO-MAP MAC: location-aided exposed/hidden-terminal handling.
+
+Extends :class:`repro.mac.dcf.DcfMac` with the four runtime mechanisms of
+Section IV:
+
+1. **Transmission announcement** — every data frame is preceded by a
+   small header frame carrying the (source, destination) of the upcoming
+   transmission (the paper's commodity-hardware variant), plus a duration
+   hint (the standard 802.11 Duration field), so neighbors can identify
+   exposed-transmission opportunities *before* the payload occupies the
+   channel.
+2. **Exposed-terminal concurrency** — on decoding a header, a contending
+   node consults its :class:`repro.core.protocol.CoMapAgent`
+   (co-occurrence map, then eq. 3).  If validation passes it keeps its
+   backoff counting down *through* the ongoing transmission and transmits
+   concurrently when the counter expires.
+3. **Enhanced multi-ET scheduling** — while counting down, the node
+   records ``RSSI_1`` and abandons the opportunity if the measured energy
+   rises by the carrier-sense quantum ``T'_cs`` (another exposed terminal
+   got there first), preventing ET-vs-ET collisions at the shared
+   receiver side.
+4. **Selective-repeat ARQ** — a missing ACK (often just corrupted by the
+   tail of the concurrent transmission) defers the frame inside a
+   ``W_send`` window instead of retransmitting; later ACKs carry the
+   receiver's recent-sequence list and confirm retroactively.
+
+Hidden-terminal mitigation (Section IV-D) enters through
+:meth:`CoMapMac.refresh_adaptation`, which pins the contention window and
+advises the MSDU payload size from the analytical optimum for the
+estimated ``(N_ht, c)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.arq import SrReceiver, SrSender
+from repro.core.protocol import CoMapAgent
+from repro.mac.dcf import DcfMac, FlowId, MacConfig, MacState, Mpdu
+from repro.mac.frames import Frame, FrameType
+from repro.sim.engine import EventHandle
+from repro.util.units import dbm_to_mw
+
+
+@dataclass
+class CoMapMacConfig(MacConfig):
+    """CO-MAP additions on top of the DCF knobs.
+
+    ``enhanced_scheduler=False`` reproduces the paper's testbed emulation
+    (concurrency by CCA override without RSSI monitoring) and powers the
+    multi-ET ablation; ``sr_window=1`` degenerates to stop-and-wait.
+    """
+
+    announce_headers: bool = True
+    #: "separate": a small header packet precedes each data frame (the
+    #: paper's testbed method — no PHY changes needed).  "embedded": an
+    #: extra FCS after the sequence-number field lets overhearers decode
+    #: the announcement from the data frame itself for 4 bytes of
+    #: overhead (the paper's first method, used in its NS-2 build).
+    announce_mode: str = "separate"
+    enable_concurrency: bool = True
+    enable_adaptation: bool = True
+    enhanced_scheduler: bool = True
+    sr_window: int = 8
+    #: Safety margin added to the announced duration before an unexpired
+    #: opportunity is forcibly dropped (covers the peer's SIFS+ACK tail).
+    opportunity_slack_ns: int = 400_000
+    #: Persistent exposure: once a link is validated as co-occurring,
+    #: busy-channel energy attributable to that link (by RSSI signature,
+    #: within T'_cs) no longer freezes the backoff.  This is the paper's
+    #: testbed mechanism ("we enable the concurrent transmissions of one
+    #: ET by disabling its carrier sense with a high CCA threshold"),
+    #: bounded here by per-link RSSI attribution and a recency window.
+    persistent_exposure: bool = True
+    #: How long a link's RSSI signature stays usable without hearing a
+    #: fresh announcement header from it.
+    exposure_memory_ns: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sr_window < 1:
+            raise ValueError("selective-repeat window must be at least 1")
+        if self.announce_mode not in ("separate", "embedded"):
+            raise ValueError(
+                f"announce_mode must be 'separate' or 'embedded', "
+                f"got {self.announce_mode!r}"
+            )
+
+
+@dataclass
+class CoMapStats:
+    """Counters specific to the CO-MAP mechanisms."""
+
+    headers_sent: int = 0
+    opportunities_validated: int = 0
+    opportunities_rejected: int = 0
+    opportunities_abandoned: int = 0
+    signature_opportunities: int = 0
+    concurrent_transmissions: int = 0
+    receiver_switches: int = 0
+    sr_deferrals: int = 0
+    sr_retransmissions: int = 0
+    sr_late_confirms: int = 0
+
+
+class _Opportunity:
+    """An exposed-transmission opportunity being exploited.
+
+    ``ack_allowance_mw`` is the expected received power of the ongoing
+    link's own ACKs at this node (predicted from positions): the
+    rival-ET abandon test must not fire on the acknowledgements the
+    validated link legitimately elicits.
+    """
+
+    __slots__ = ("link", "rssi1_mw", "ack_allowance_mw", "expires_handle")
+
+    def __init__(self, link, rssi1_mw: float, ack_allowance_mw: float = 0.0):
+        self.link = link
+        self.rssi1_mw = rssi1_mw
+        self.ack_allowance_mw = ack_allowance_mw
+        self.expires_handle: Optional[EventHandle] = None
+
+
+class CoMapMac(DcfMac):
+    """DCF extended with the CO-MAP exposed/hidden-terminal machinery."""
+
+    def __init__(self, *args, agent: CoMapAgent, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.config, CoMapMacConfig):
+            raise TypeError("CoMapMac requires a CoMapMacConfig")
+        self.agent = agent
+        self.comap_stats = CoMapStats()
+        self._opportunity: Optional[_Opportunity] = None
+        self._pending_link = None  # validated link awaiting RSSI_1 capture
+        self._pending_duration_ns = 0
+        self._pending_baseline_mw = 0.0
+        self._transmitting_exposed = False
+        self._exposed_link = None  # link we are currently concurrent with
+        self._last_attempt_exposed = False
+        # Per-announced-link RSSI signatures: link -> (ewma_mw, last_seen_ns).
+        self._link_signatures: Dict[tuple, tuple] = {}
+        #: Shadowing back-off applied to the predicted concurrent SIR (dB).
+        self._exposed_sir_margin_db = math.sqrt(2.0) * (
+            agent.model.propagation.sigma_db
+        )
+        self._advised_payload: Optional[int] = None
+        self._sr_senders: Dict[FlowId, SrSender] = {}
+        self._sr_receivers: Dict[FlowId, SrReceiver] = {}
+        # The carrier-sense quantum T'_cs: the part of T_cs that is not
+        # noise floor (Table I lists -80.14 dBm for T_cs = -80 dBm).
+        self._t_cs_prime_mw = max(
+            dbm_to_mw(self.radio.config.cs_threshold_dbm) - self.radio.noise_mw, 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Adaptation (hidden terminals, Section IV-D)
+    # ------------------------------------------------------------------
+    def refresh_adaptation(self, receivers: List[int]) -> Optional[tuple]:
+        """Re-derive (CW, payload) advice for this node's links.
+
+        For a client ``receivers`` holds just its AP; an AP passes all of
+        its associated clients and the worst-case (max) counts are used.
+        Returns the ``(N_ht, c)`` estimate actually applied, or None when
+        adaptation is disabled or no receiver is known.
+        """
+        if not self.config.enable_adaptation or self.agent.adaptation is None:
+            return None
+        if not receivers:
+            return None
+        hidden = contenders = 0
+        for receiver in receivers:
+            h, c = self.agent.link_counts(receiver)
+            hidden = max(hidden, h)
+            contenders = max(contenders, c)
+        setting = self.agent.adaptation.best_settings(hidden, contenders)
+        self._advised_payload = setting.payload_bytes
+        if hidden == 0:
+            # Without distinguished hidden terminals, binary exponential
+            # backoff already adapts the window to the contention level —
+            # pinning a constant CW would only remove that adaptivity.
+            self.config.constant_cw = None
+        else:
+            self.config.constant_cw = setting.window
+        return hidden, contenders
+
+    def preferred_payload(self) -> Optional[int]:
+        """Advised MSDU size from the (N_ht, c) lookup, if adaptation ran."""
+        if self.config.enable_adaptation:
+            return self._advised_payload
+        return None
+
+    # ------------------------------------------------------------------
+    # Announcement headers
+    # ------------------------------------------------------------------
+    def _compose_frames(self, head: Mpdu, rate) -> List[Frame]:
+        """Prefix the data frame with the announcement header.
+
+        For an exposed concurrent transmission the data rate is chosen
+        from the location-predicted SIR under the ongoing interferer
+        (rather than the rate controller's solo-channel estimate): "a
+        higher data rate could be adapted if it is located further away
+        from the ongoing transmission".
+        """
+        if self._transmitting_exposed and self._exposed_link is not None:
+            rate = self._exposed_rate(head.dst, rate)
+        elif self.config.persistent_exposure:
+            # A validated exposed link may fire mid-frame at any moment
+            # while its signature is fresh; cap the rate at what survives
+            # that interference so concurrency does not poison our frames.
+            rate = self._environment_capped_rate(head.dst, rate)
+        data = self._build_data_frame(head, rate)
+        if self._transmitting_exposed:
+            data.meta["exposed"] = True
+        if not self.config.announce_headers:
+            return [data]
+        if not self.agent.announce_worthwhile(head.dst):
+            # Positions rule out any exposed terminal for this link — the
+            # announcement would be pure overhead.
+            return [data]
+        self.comap_stats.headers_sent += 1
+        if self.config.announce_mode == "embedded":
+            data.meta["embedded_announce"] = True
+            data.meta["dur"] = self.timing.frame_airtime_ns(data)
+            return [data]
+        header = Frame(
+            kind=FrameType.COMAP_HEADER,
+            src=self.node_id,
+            dst=head.dst,
+            rate=self.rates.base,
+            seq=head.seq,
+            flow=head.flow,
+            meta={"dur": self.timing.frame_airtime_ns(data)},
+        )
+        return [header, data]
+
+    # ------------------------------------------------------------------
+    # Exposed-terminal concurrency (Section IV-C)
+    # ------------------------------------------------------------------
+    def on_header_overheard(self, frame: Frame, rssi_dbm: float) -> None:
+        """A neighbor announced a transmission: look for an ET opportunity.
+
+        ``frame`` is either a separate announcement header (delivered at
+        its end, just before the data frame starts) or — in embedded mode
+        — the announced data frame itself, partially decoded while still
+        in the air.
+        """
+        if not self.config.enable_concurrency:
+            return
+        if frame.dst == self.node_id:
+            return  # our own incoming traffic, not an opportunity
+        self._remember_signature((frame.src, frame.dst), rssi_dbm)
+        if self._state not in (MacState.CONTEND, MacState.WAIT_ACK):
+            return
+        if self._head is None:
+            return
+        if self._opportunity is not None:
+            return
+        link = (frame.src, frame.dst)
+        if not self._aim_at_concurrent_receiver(link):
+            self.comap_stats.opportunities_rejected += 1
+            return
+        self.comap_stats.opportunities_validated += 1
+        if frame.kind is FrameType.DATA:
+            # Embedded announcement: the announced frame is already on the
+            # air, so its energy is in the current reading — activate now.
+            opportunity = _Opportunity(
+                link,
+                rssi1_mw=self.radio.energy_mw(),
+                ack_allowance_mw=self._predicted_ack_power_mw(link),
+            )
+            horizon = (int(frame.meta.get("dur", 0))
+                       + self.config.opportunity_slack_ns)
+            opportunity.expires_handle = self.sim.schedule(
+                horizon, self._expire_opportunity, opportunity
+            )
+            self._opportunity = opportunity
+            self._resume_contention()
+            return
+        # Separate header: the data frame hits the air in the same instant
+        # the header ends; RSSI_1 must be captured *then* (when the
+        # frame's energy is present), so activation waits for the next
+        # energy rise above the current (header-free) baseline.
+        self._pending_link = link
+        self._pending_baseline_mw = self.radio.energy_mw()
+        self._pending_duration_ns = int(frame.meta.get("dur", 0))
+        if self.trace.wants("comap"):
+            self.trace.record(
+                "comap", "opportunity", node=self.node_id, link=f"{link[0]}->{link[1]}"
+            )
+
+    def _aim_at_concurrent_receiver(self, link) -> bool:
+        """Validate the head's receiver; APs may switch to another queued one."""
+        assert self._head is not None
+        if self.agent.concurrency_allowed(link[0], link[1], self._head.dst):
+            return True
+        # "It may choose another receiver further away from the current
+        # transmitter and verify again" — scan the queue for a different
+        # destination that passes and promote it to head.
+        for index, mpdu in enumerate(self._queue):
+            if mpdu.dst == self._head.dst:
+                continue
+            if self.agent.concurrency_allowed(link[0], link[1], mpdu.dst):
+                del self._queue[index]
+                self._queue.appendleft(self._head)
+                self._head = mpdu
+                self.comap_stats.receiver_switches += 1
+                return True
+        return False
+
+    def on_energy_changed(self, energy_mw: float) -> None:
+        """RSSI monitor: activate pending opportunities, detect rival ETs."""
+        if self._pending_link is not None:
+            if energy_mw <= self._pending_baseline_mw:
+                # Energy fell or held (e.g. the header itself leaving the
+                # air) — the announced data frame is not up yet.
+                return
+            # The announced data frame just hit the air: this energy level
+            # is RSSI_1, the baseline the enhanced scheduler compares to.
+            opportunity = _Opportunity(
+                self._pending_link,
+                rssi1_mw=energy_mw,
+                ack_allowance_mw=self._predicted_ack_power_mw(self._pending_link),
+            )
+            horizon = self._pending_duration_ns + self.config.opportunity_slack_ns
+            opportunity.expires_handle = self.sim.schedule(
+                horizon, self._expire_opportunity, opportunity
+            )
+            self._pending_link = None
+            self._opportunity = opportunity
+            self._resume_contention()
+            return
+        if self._opportunity is None:
+            # A frozen contender re-examines the medium at every energy
+            # change: the transmission now in the air may carry a known
+            # signature and reopen a persistent-exposure episode.
+            if (
+                self._state is MacState.CONTEND
+                and self._ifs_handle is None
+                and self._countdown_handle is None
+            ):
+                self._resume_contention()
+            return
+        if not self.config.enhanced_scheduler:
+            return  # CCA-override emulation: transmit blindly at expiry.
+        threshold = (
+            self._opportunity.rssi1_mw
+            + self._t_cs_prime_mw
+            + self._opportunity.ack_allowance_mw
+        )
+        if energy_mw >= threshold:
+            # RSSI_2 = RSSI_1 + T'_cs (beyond the validated link's own
+            # ACK level): another exposed terminal started first —
+            # abandon rather than collide at the shared receiver.
+            self.comap_stats.opportunities_abandoned += 1
+            self._clear_opportunity()
+            if self._state is MacState.CONTEND and self.radio.medium_busy():
+                self._freeze_contention()
+
+    def _predicted_ack_power_mw(self, link) -> float:
+        """Expected RSSI of the ongoing receiver's ACKs at this node."""
+        dist = self.agent.neighbor_table.distance(self.node_id, link[1])
+        if dist is None or dist <= 0:
+            return 0.0
+        propagation = self.agent.model.propagation
+        rx_dbm = propagation.mean_rx_dbm(self.radio.config.tx_power_dbm, dist)
+        return dbm_to_mw(rx_dbm)
+
+    def _expire_opportunity(self, opportunity: _Opportunity) -> None:
+        """The announced transmission (plus slack) is over."""
+        if self._opportunity is opportunity:
+            opportunity.expires_handle = None
+            self._clear_opportunity()
+            if self._state is MacState.CONTEND and self.radio.medium_busy():
+                self._freeze_contention()
+
+    def _clear_opportunity(self) -> None:
+        """Drop opportunity state and its expiry timer."""
+        if self._opportunity is not None:
+            if self._opportunity.expires_handle is not None:
+                self._opportunity.expires_handle.cancel()
+            self._opportunity = None
+        self._pending_link = None
+
+    def _remember_signature(self, link: tuple, rssi_dbm: float) -> None:
+        """EWMA of the received power of a link's announcements."""
+        power_mw = dbm_to_mw(rssi_dbm)
+        prior = self._link_signatures.get(link)
+        if prior is None:
+            ewma = power_mw
+        else:
+            ewma = 0.5 * prior[0] + 0.5 * power_mw
+        self._link_signatures[link] = (ewma, self.sim.now)
+
+    def _should_ignore_busy(self) -> bool:
+        """Count down through the validated ongoing transmission.
+
+        Never through our *own* transmissions (e.g. an ACK we owe a
+        peer): the radio is half-duplex, so the countdown must wait.
+        """
+        if self.radio.transmitting:
+            return False
+        if self._opportunity is not None:
+            return True
+        return self._try_signature_opportunity()
+
+    def _try_signature_opportunity(self) -> bool:
+        """Persistent exposure: attribute the busy medium to a known ET link.
+
+        If the current in-air energy matches (within ``T'_cs``) the RSSI
+        signature of a recently announced link that the co-occurrence map
+        clears for our head's receiver, start an exposed episode without
+        waiting for the next header — this is what keeps two exposed
+        links running concurrently even while each is deaf to the other's
+        headers during its own transmissions.
+        """
+        if not self.config.persistent_exposure or not self.config.enable_concurrency:
+            return False
+        if self._state is not MacState.CONTEND or self._head is None:
+            return False
+        energy = self.radio.energy_mw()
+        if energy <= 0.0:
+            return False
+        now = self.sim.now
+        for link, (signature_mw, last_seen) in self._link_signatures.items():
+            if now - last_seen > self.config.exposure_memory_ns:
+                continue
+            if energy > signature_mw + self._t_cs_prime_mw:
+                continue  # more power in the air than that link alone emits
+            if link[0] == self._head.dst or link[1] == self._head.dst:
+                continue
+            if not self.agent.concurrency_allowed(link[0], link[1], self._head.dst):
+                continue
+            opportunity = _Opportunity(
+                link,
+                rssi1_mw=energy,
+                ack_allowance_mw=self._predicted_ack_power_mw(link),
+            )
+            opportunity.expires_handle = self.sim.schedule(
+                self.config.exposure_memory_ns, self._expire_opportunity, opportunity
+            )
+            self._opportunity = opportunity
+            self.comap_stats.signature_opportunities += 1
+            return True
+        return False
+
+    def on_medium_idle(self) -> None:
+        """Medium fully idle: an *active* exposed episode is over.
+
+        A pending (not yet activated) opportunity survives — the channel
+        reads idle for the zero-width instant between the announcement
+        header leaving the air and the data frame entering it.
+        """
+        if self._opportunity is not None:
+            self._clear_opportunity()
+        super().on_medium_idle()
+
+    def _transmit_head(self) -> None:
+        """Tag concurrent transmissions.
+
+        The opportunity stays alive across our own transmission: during
+        one exposed episode the sender streams several frames of its
+        selective-repeat window ("a transmitter sends a set of frames
+        with consecutive sequence numbers specified by a window size"),
+        so the next head keeps counting through the ongoing transmission
+        until the episode ends (expiry, rival ET, or an idle medium).
+        """
+        self._transmitting_exposed = self._opportunity is not None
+        self._exposed_link = (
+            self._opportunity.link if self._opportunity is not None else None
+        )
+        self._last_attempt_exposed = self._transmitting_exposed
+        if self._transmitting_exposed:
+            self.comap_stats.concurrent_transmissions += 1
+        try:
+            super()._transmit_head()
+        finally:
+            self._transmitting_exposed = False
+
+    def _exposed_rate(self, dst: int, fallback):
+        """Fastest rate safe under the location-predicted concurrent SIR."""
+        assert self._exposed_link is not None
+        predicted = self.agent.predicted_concurrent_sir_db(self._exposed_link[0], dst)
+        if predicted is None:
+            return fallback
+        safe_sir = predicted - self._exposed_sir_margin_db
+        return self.rates.best_for_sir(safe_sir)
+
+    def _environment_capped_rate(self, dst: int, fallback):
+        """Cap the controller's rate by concurrent interference exposure.
+
+        Considers every link with a fresh RSSI signature that the
+        co-occurrence map clears for ``dst`` (i.e. links that may
+        legitimately transmit over us) and returns the fastest rate whose
+        SIR requirement the worst of them still satisfies.
+        """
+        worst_sir = None
+        for link in self._fresh_allowed_links(dst):
+            predicted = self.agent.predicted_concurrent_sir_db(link[0], dst)
+            if predicted is None:
+                continue
+            if worst_sir is None or predicted < worst_sir:
+                worst_sir = predicted
+        if worst_sir is None:
+            return fallback
+        capped = self.rates.best_for_sir(worst_sir - self._exposed_sir_margin_db)
+        return capped if capped.bps < fallback.bps else fallback
+
+    def _fresh_allowed_links(self, dst: int):
+        """Recently announced links the co-occurrence map clears for ``dst``."""
+        now = self.sim.now
+        for link, (_sig, last_seen) in self._link_signatures.items():
+            if now - last_seen > self.config.exposure_memory_ns:
+                continue
+            if link[0] == dst or link[1] == dst:
+                continue
+            if self.co_occurrence_cached(link, dst) is not True:
+                continue
+            yield link
+
+    def _in_concurrency_environment(self, dst: int) -> bool:
+        """True when a validated exposed link has been active recently."""
+        return next(iter(self._fresh_allowed_links(dst)), None) is not None
+
+    def co_occurrence_cached(self, link, dst):
+        """Cached-only co-occurrence lookup (no fresh validation)."""
+        return self.agent.co_map.query(link, dst)
+
+    def _report_rate_outcome(self, dst: int, success: bool) -> None:
+        """Keep exposed-transmission outcomes out of the rate controller.
+
+        The controller estimates the solo channel; a concurrent frame's
+        fate reflects the interferer, and its rate was chosen from
+        positions, not by the controller.
+        """
+        if getattr(self, "_last_attempt_exposed", False):
+            return
+        super()._report_rate_outcome(dst, success)
+
+    # ------------------------------------------------------------------
+    # Selective-repeat ARQ (Section IV-C4)
+    # ------------------------------------------------------------------
+    def _sr_sender(self, flow: FlowId) -> SrSender:
+        sender = self._sr_senders.get(flow)
+        if sender is None:
+            sender = SrSender(self.config.sr_window)
+            self._sr_senders[flow] = sender
+        return sender
+
+    def _sr_receiver(self, flow: FlowId) -> SrReceiver:
+        receiver = self._sr_receivers.get(flow)
+        if receiver is None:
+            receiver = SrReceiver(max(self.config.sr_window, 1))
+            self._sr_receivers[flow] = receiver
+        return receiver
+
+    def _build_ack(self, data_frame: Frame) -> Frame:
+        """Piggyback the recently received sequence list on every ACK."""
+        ack = super()._build_ack(data_frame)
+        flow = data_frame.flow or (data_frame.src, data_frame.dst)
+        receiver = self._sr_receiver(flow)
+        receiver.on_received(data_frame.seq)
+        ack.meta["sr_received"] = receiver.ack_payload()
+        return ack
+
+    def _accept_ack(self, ack: Frame) -> None:
+        """Confirm deferred frames from the piggybacked sequence list."""
+        flow = ack.flow
+        received = ack.meta.get("sr_received")
+        if flow is not None and received:
+            sender = self._sr_senders.get(flow)
+            if sender is not None:
+                confirmed = sender.confirm(received)
+                for _ in confirmed:
+                    self.stats.successes += 1
+                    self.comap_stats.sr_late_confirms += 1
+        super()._accept_ack(ack)
+
+    def _handle_ack_timeout(self, frame: Frame) -> None:
+        """Advance the window instead of retransmitting, when possible.
+
+        Selective repeat exists for the exposed-transmission ACK-loss
+        problem (Section IV-C4): the data very likely arrived and only
+        the ACK was trampled by the concurrent transmission's tail.  A
+        loss on a *normal* attempt means collision or bad channel —
+        stop-and-wait with exponential backoff handles those.
+        """
+        assert self._head is not None
+        concurrency_loss = frame.meta.get("exposed") or self._in_concurrency_environment(
+            frame.dst
+        )
+        if self.config.sr_window <= 1 or not concurrency_loss:
+            super()._handle_ack_timeout(frame)
+            return
+        head = self._head
+        if head.attempts > self.config.retry_limit:
+            self.stats.retry_drops += 1
+            self._finish_attempt(success=False)
+            return
+        sender = self._sr_sender(head.flow)
+        if not sender.window_full and self._queue:
+            # Selective repeat: the ACK may merely have been corrupted by
+            # the concurrent transmission's tail — move on, a later ACK
+            # can still vouch for this frame.
+            sender.defer(head.seq, head)
+            self.comap_stats.sr_deferrals += 1
+            self._head = None
+            self._state = MacState.IDLE
+            self._start_next()
+            return
+        # Window exhausted (or nothing else to send): retransmit now.
+        self.comap_stats.sr_retransmissions += 1
+        self._state = MacState.CONTEND
+        self._backoff_slots = self._draw_backoff()
+        self._resume_contention()
+
+    def _select_next(self) -> Optional[Mpdu]:
+        """Serve window-exhausted retransmissions before fresh traffic."""
+        if self.config.sr_window > 1:
+            for flow, sender in self._sr_senders.items():
+                if sender.window_full or (sender.outstanding and not self._queue):
+                    entry = sender.next_retransmit()
+                    if entry is not None:
+                        self.comap_stats.sr_retransmissions += 1
+                        return entry[1]
+        return super()._select_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CoMapMac node={self.node_id} state={self._state.value}>"

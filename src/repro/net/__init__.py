@@ -1,0 +1,44 @@
+"""Network layer: nodes, topologies, traffic, localization, mobility.
+
+This package turns the PHY/MAC building blocks into runnable WLANs:
+
+* :mod:`repro.net.node` / :mod:`repro.net.network` — node containers,
+  AP association, the CO-MAP location-exchange service, and result
+  collection;
+* :mod:`repro.net.traffic` — saturated, CBR and TCP-lite sources (the
+  paper's Iperf-TCP and 3 Mbps CBR workloads);
+* :mod:`repro.net.localization` — position-error models (perfect, uniform
+  disk, Gaussian) for the Fig. 10 inaccuracy study;
+* :mod:`repro.net.mobility` — movement with threshold-based position
+  re-reporting (Section V's mobility management).
+"""
+
+from repro.net.localization import (
+    GaussianError,
+    NoError,
+    PositionErrorModel,
+    UniformDiskError,
+)
+from repro.net.node import Node
+from repro.net.network import Network, FlowResult, RunResults
+from repro.net.traffic import CbrSource, SaturatedSource, TcpLiteFlow
+from repro.net.mobility import LinearMobility
+from repro.net.mesh import MeshRouter, MeshFlowStats, build_mesh_chain
+
+__all__ = [
+    "PositionErrorModel",
+    "NoError",
+    "UniformDiskError",
+    "GaussianError",
+    "Node",
+    "Network",
+    "FlowResult",
+    "RunResults",
+    "SaturatedSource",
+    "CbrSource",
+    "TcpLiteFlow",
+    "LinearMobility",
+    "MeshRouter",
+    "MeshFlowStats",
+    "build_mesh_chain",
+]

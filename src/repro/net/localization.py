@@ -1,0 +1,70 @@
+"""Localization error models.
+
+The paper's nodes learn their own positions from GPS / indoor
+localization, whose error it quotes as ~13.7 m outdoors and "room-level"
+indoors.  Fig. 10 adds "a random error within a certain range to the
+coordinates of each node" — the uniform-in-disk model here.  Each node's
+error is drawn **once** (a self-reported position is consistent across
+all observers) and refreshed only when the node reports again.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.util.geometry import Point
+
+
+class PositionErrorModel(Protocol):
+    """Maps a true position to the position the node reports."""
+
+    def apply(self, true_position: Point, rng: np.random.Generator) -> Point:
+        """Return the (possibly perturbed) reported position."""
+        ...
+
+
+class NoError:
+    """Perfect localization — the paper's CO-MAP(0) configuration."""
+
+    def apply(self, true_position: Point, rng: np.random.Generator) -> Point:
+        return true_position
+
+
+class UniformDiskError:
+    """Error uniform over a disk of configurable radius.
+
+    "a random error within 10 m" → ``UniformDiskError(10.0)``.  The draw
+    is area-uniform (radius via square-root transform), not
+    radius-uniform, so error magnitudes are not biased toward the center.
+    """
+
+    def __init__(self, radius_m: float) -> None:
+        if radius_m < 0:
+            raise ValueError(f"error radius cannot be negative, got {radius_m}")
+        self.radius_m = float(radius_m)
+
+    def apply(self, true_position: Point, rng: np.random.Generator) -> Point:
+        if self.radius_m == 0.0:
+            return true_position
+        radius = self.radius_m * math.sqrt(rng.random())
+        angle = rng.random() * 2.0 * math.pi
+        return true_position.translate(radius * math.cos(angle), radius * math.sin(angle))
+
+
+class GaussianError:
+    """Independent zero-mean Gaussian error on each coordinate."""
+
+    def __init__(self, sigma_m: float) -> None:
+        if sigma_m < 0:
+            raise ValueError(f"error sigma cannot be negative, got {sigma_m}")
+        self.sigma_m = float(sigma_m)
+
+    def apply(self, true_position: Point, rng: np.random.Generator) -> Point:
+        if self.sigma_m == 0.0:
+            return true_position
+        return true_position.translate(
+            float(rng.normal(0.0, self.sigma_m)), float(rng.normal(0.0, self.sigma_m))
+        )

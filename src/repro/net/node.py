@@ -1,0 +1,94 @@
+"""A network node: radio + MAC + (optionally) a CO-MAP agent.
+
+Nodes also own the fan-out plumbing between the single MAC callbacks
+(``on_deliver`` / ``on_queue_space``) and the possibly-many traffic
+sources and sinks attached to them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.protocol import CoMapAgent
+from repro.mac.dcf import DcfMac
+from repro.mac.frames import Frame
+from repro.phy.radio import Radio
+from repro.util.geometry import Point
+
+
+class Node:
+    """One WLAN participant (AP or client)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        radio: Radio,
+        mac: DcfMac,
+        is_ap: bool,
+        agent: Optional[CoMapAgent] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.name = name
+        self.radio = radio
+        self.mac = mac
+        self.is_ap = is_ap
+        self.agent = agent
+        self.associated_ap: Optional["Node"] = None
+        self.clients: List["Node"] = []
+        self._delivery_listeners: List[Callable[[Frame], None]] = []
+        self._queue_space_listeners: List[Callable[[], None]] = []
+        mac.on_deliver = self._fan_out_delivery
+        mac.on_queue_space = self._fan_out_queue_space
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Point:
+        """True physical position (the radio's)."""
+        return self.radio.position
+
+    @property
+    def band(self) -> int:
+        """The frequency band this node's radio operates on."""
+        return self.radio.channel.band
+
+    def associate(self, ap: "Node") -> None:
+        """Attach this client to an AP (must share the AP's band)."""
+        if self.is_ap:
+            raise ValueError(f"{self.name} is an AP and cannot associate")
+        if not ap.is_ap:
+            raise ValueError(f"{ap.name} is not an AP")
+        if self.band != ap.band:
+            raise ValueError(
+                f"{self.name} (band {self.band}) cannot associate with "
+                f"{ap.name} (band {ap.band})"
+            )
+        if self.associated_ap is not None:
+            self.associated_ap.clients.remove(self)
+        self.associated_ap = ap
+        ap.clients.append(self)
+
+    # ------------------------------------------------------------------
+    # Upper-layer fan-out
+    # ------------------------------------------------------------------
+    def add_delivery_listener(self, listener: Callable[[Frame], None]) -> None:
+        """Subscribe to unique MAC deliveries at this node."""
+        self._delivery_listeners.append(listener)
+
+    def add_queue_space_listener(self, listener: Callable[[], None]) -> None:
+        """Subscribe to MAC queue-space availability (source refill)."""
+        self._queue_space_listeners.append(listener)
+
+    def _fan_out_delivery(self, frame: Frame) -> None:
+        for listener in self._delivery_listeners:
+            listener(frame)
+
+    def _fan_out_queue_space(self) -> None:
+        for listener in self._queue_space_listeners:
+            listener()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "AP" if self.is_ap else "client"
+        return f"<Node {self.name} ({kind}) id={self.node_id} at {self.position}>"

@@ -1,0 +1,34 @@
+"""Physical layer: radio propagation, packet-reception model, rates, medium.
+
+This package implements the paper's Section IV-B machinery:
+
+* :mod:`repro.phy.propagation` — the log-normal shadowing model (eq. 1),
+  with the free-space Friis equation supplying the reference power.
+* :mod:`repro.phy.prr` — the closed-form Packet Reception Rate model
+  (eqs. 2-3) and the carrier-sense-miss probability (eq. 4).
+* :mod:`repro.phy.rates` — 802.11 bit-rate tables with per-rate SIR
+  thresholds and receiver sensitivities.
+* :mod:`repro.phy.channel` / :mod:`repro.phy.radio` — the simulated
+  medium: energy-based clear-channel assessment and SIR-based reception
+  with interference tracking.
+"""
+
+from repro.phy.propagation import FreeSpaceReference, LogNormalShadowing
+from repro.phy.prr import PrrModel
+from repro.phy.rates import Rate, RateTable, DSSS_RATES, OFDM_RATES
+from repro.phy.channel import Channel, Transmission
+from repro.phy.radio import Radio, RadioConfig
+
+__all__ = [
+    "FreeSpaceReference",
+    "LogNormalShadowing",
+    "PrrModel",
+    "Rate",
+    "RateTable",
+    "DSSS_RATES",
+    "OFDM_RATES",
+    "Channel",
+    "Transmission",
+    "Radio",
+    "RadioConfig",
+]

@@ -1,0 +1,203 @@
+"""The shared wireless medium.
+
+The :class:`Channel` owns the set of in-flight :class:`Transmission`\\ s.
+When a radio starts transmitting, the channel draws a received power for
+every other attached radio from the propagation model (one shadowing
+realization per frame by default — this is what makes the simulated
+packet-reception rate converge to the paper's eq. 3) and notifies each
+radio, which updates its clear-channel assessment and reception state.
+
+Shadowing modes
+---------------
+
+``per_frame``
+    A fresh ``X_sigma`` per (transmitter, receiver, frame).  Default;
+    realizes the statistical PRR model.
+``per_link``
+    One draw per ordered (transmitter, receiver) pair, fixed for the whole
+    run.  Useful for deterministic unit tests and for studying stable
+    topologies.
+``none``
+    Pure deterministic path loss.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.phy.propagation import LogNormalShadowing
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.util.rng import RngStreams
+from repro.util.units import dbm_to_mw
+
+if TYPE_CHECKING:  # avoid a phy <-> mac import cycle; hints only
+    from repro.mac.frames import Frame
+    from repro.mac.timing import PhyTiming
+
+#: Valid values for the channel's ``shadowing_mode``.
+SHADOWING_MODES = ("per_frame", "per_link", "none")
+
+
+class Transmission:
+    """One frame in flight: who sent it, when it ends, and its per-radio power."""
+
+    __slots__ = ("frame", "sender", "start_ns", "end_ns", "rx_power_mw")
+
+    def __init__(self, frame: "Frame", sender: "Radio", start_ns: int, end_ns: int):
+        self.frame = frame
+        self.sender = sender
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        #: Received power in mW at each listening radio, keyed by radio id.
+        self.rx_power_mw: Dict[int, float] = {}
+
+    @property
+    def duration_ns(self) -> int:
+        """Airtime of the transmission."""
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Transmission {self.frame.describe()} [{self.start_ns},{self.end_ns}]>"
+
+
+class Channel:
+    """Broadcast medium connecting all radios of one frequency band."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: LogNormalShadowing,
+        timing: "PhyTiming",
+        rngs: RngStreams,
+        shadowing_mode: str = "per_frame",
+        trace: Optional[TraceRecorder] = None,
+        band: int = 0,
+        air_latency_ns: int = 1_000,
+    ) -> None:
+        if shadowing_mode not in SHADOWING_MODES:
+            raise ValueError(
+                f"shadowing_mode must be one of {SHADOWING_MODES}, got {shadowing_mode!r}"
+            )
+        self.sim = sim
+        self.propagation = propagation
+        self.timing = timing
+        self.shadowing_mode = shadowing_mode
+        #: Frequency band index.  Radios only interact when they share a
+        #: Channel object, so non-overlapping bands are modeled as separate
+        #: channels — matching the paper's floor where "only the ones using
+        #: the same frequency band are considered".
+        self.band = int(band)
+        #: Propagation + CCA detection latency: a transmission becomes
+        #: observable at other radios only after this delay.  Without it,
+        #: two stations whose backoff counters expire in the same slot
+        #: would serialize instead of colliding (zero-latency carrier
+        #: sense), and DCF would be collision-free — wildly unphysical.
+        #: 1 us approximates aCCATime/propagation at WLAN ranges.
+        self.air_latency_ns = int(air_latency_ns)
+        if self.air_latency_ns < 0:
+            raise ValueError("air latency cannot be negative")
+        # NB: "trace or ..." would discard an *empty* recorder (len == 0 is
+        # falsy), so test identity explicitly.
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.trace.bind_clock(lambda: sim.now)
+        self._rng = rngs.stream("shadowing", band)
+        self._radios: List["Radio"] = []
+        self._active: List[Transmission] = []
+        self._link_shadowing_db: Dict[tuple, float] = {}
+        #: Counters for diagnostics and tests.
+        self.frames_sent = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def attach(self, radio: "Radio") -> None:
+        """Register a radio with the medium."""
+        if any(r.radio_id == radio.radio_id for r in self._radios):
+            raise ValueError(f"duplicate radio id {radio.radio_id}")
+        self._radios.append(radio)
+
+    @property
+    def radios(self) -> List["Radio"]:
+        """All attached radios."""
+        return list(self._radios)
+
+    def invalidate_link_shadowing(self, radio_id: int) -> int:
+        """Drop cached per-link shadowing draws involving ``radio_id``.
+
+        Only meaningful in ``per_link`` mode: a moved radio's old draws
+        describe paths that no longer exist.  Returns how many entries
+        were dropped.  (:meth:`repro.phy.radio.Radio.move_to` calls this.)
+        """
+        doomed = [key for key in self._link_shadowing_db if radio_id in key]
+        for key in doomed:
+            del self._link_shadowing_db[key]
+        return len(doomed)
+
+    @property
+    def active_transmissions(self) -> List[Transmission]:
+        """Transmissions currently in the air."""
+        return list(self._active)
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "Radio", frame: "Frame") -> Transmission:
+        """Put ``frame`` on the air from ``sender``; returns the record.
+
+        Called by :meth:`repro.phy.radio.Radio.start_transmission` only.
+        """
+        duration = self.timing.frame_airtime_ns(frame)
+        tx = Transmission(frame, sender, self.sim.now, self.sim.now + duration)
+        self._active.append(tx)
+        self.frames_sent += 1
+        if self.trace.wants("channel"):
+            self.trace.record(
+                "channel", "tx-start", frame=frame.describe(), sender=sender.radio_id
+            )
+        for radio in self._radios:
+            if radio is sender:
+                continue
+            power_mw = self._received_power_mw(sender, radio, frame)
+            tx.rx_power_mw[radio.radio_id] = power_mw
+            if self.air_latency_ns:
+                self.sim.schedule(self.air_latency_ns, radio.on_air_start, tx, power_mw)
+            else:
+                radio.on_air_start(tx, power_mw)
+        self.sim.schedule(duration, self._end_transmission, tx)
+        return tx
+
+    def _end_transmission(self, tx: Transmission) -> None:
+        """Remove a finished transmission and notify every radio."""
+        self._active.remove(tx)
+        if self.trace.wants("channel"):
+            self.trace.record("channel", "tx-end", frame=tx.frame.describe())
+        for radio in self._radios:
+            if radio is tx.sender:
+                continue
+            if self.air_latency_ns:
+                self.sim.schedule(self.air_latency_ns, radio.on_air_end, tx)
+            else:
+                radio.on_air_end(tx)
+        tx.sender.on_own_tx_end(tx)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _received_power_mw(self, sender: "Radio", receiver: "Radio", frame: "Frame") -> float:
+        """Draw the received power of this frame at ``receiver``."""
+        dist = sender.position.distance_to(receiver.position)
+        tx_dbm = sender.config.tx_power_dbm
+        if self.shadowing_mode == "none":
+            rx_dbm = self.propagation.mean_rx_dbm(tx_dbm, dist)
+        elif self.shadowing_mode == "per_link":
+            key = (sender.radio_id, receiver.radio_id)
+            offset = self._link_shadowing_db.get(key)
+            if offset is None:
+                sigma = self.propagation.sigma_db
+                offset = float(self._rng.normal(0.0, sigma)) if sigma > 0 else 0.0
+                self._link_shadowing_db[key] = offset
+            rx_dbm = self.propagation.mean_rx_dbm(tx_dbm, dist) + offset
+        else:  # per_frame
+            rx_dbm = self.propagation.sample_rx_dbm(tx_dbm, dist, self._rng)
+        return dbm_to_mw(rx_dbm)

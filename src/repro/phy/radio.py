@@ -1,0 +1,288 @@
+"""A half-duplex radio: clear-channel assessment and SIR-based reception.
+
+Reception model (matching NS-2's interference handling, which the paper
+validates its analytical model against):
+
+* The radio **locks** onto the first frame that arrives while it is
+  neither transmitting nor already locked, provided the frame's received
+  power clears the rate's sensitivity.
+* While locked it tracks the **maximum concurrent interference** (sum of
+  all other in-air power).  At frame end the frame survives iff
+
+  ``signal / (max_interference + noise_floor) >= sir_threshold(rate)``.
+
+* Frames arriving during a lock are pure interference (no mid-frame
+  capture by default); frames arriving while the radio transmits are
+  missed entirely but still contribute energy afterwards.
+
+Clear-channel assessment is pure energy detection against
+``cs_threshold_dbm`` (the paper's ``T_cs``), which is what lets hidden
+terminals arise: a node whose received energy stays under ``T_cs`` sees an
+idle medium even while a distant sender is corrupting its receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.phy.channel import Channel, Transmission
+from repro.util.geometry import Point
+from repro.util.units import dbm_to_mw, mw_to_dbm
+
+if TYPE_CHECKING:  # avoid a phy <-> mac import cycle; hints only
+    from repro.mac.frames import Frame
+
+
+@dataclass
+class RadioConfig:
+    """Per-radio PHY parameters.
+
+    ``cs_threshold_dbm`` is the paper's ``T_cs``; ``noise_floor_dbm``
+    defaults to the -95 dBm the paper quotes for 2.4 GHz WiFi.
+    ``capture`` enables message-in-message capture: a later frame that is
+    decodable *over* the ongoing reception re-locks the receiver (standard
+    on commodity 802.11 hardware, and required for an exposed terminal's
+    receiver to pick its own sender's frame out of an overheard weaker
+    transmission it happened to lock first).
+    """
+
+    tx_power_dbm: float = 0.0
+    cs_threshold_dbm: float = -82.0
+    noise_floor_dbm: float = -95.0
+    capture: bool = True
+
+
+class _ReceptionLock:
+    """Bookkeeping for the frame currently being received."""
+
+    __slots__ = ("tx", "signal_mw", "max_interference_mw")
+
+    def __init__(self, tx: Transmission, signal_mw: float, interference_mw: float):
+        self.tx = tx
+        self.signal_mw = signal_mw
+        self.max_interference_mw = interference_mw
+
+
+class Radio:
+    """One node's PHY front end, attached to a :class:`Channel`."""
+
+    def __init__(
+        self,
+        radio_id: int,
+        position: Point,
+        config: RadioConfig,
+        channel: Channel,
+    ) -> None:
+        self.radio_id = radio_id
+        self.position = position
+        self.config = config
+        self.channel = channel
+        self.sim = channel.sim
+        self.mac = None  # bound via bind_mac()
+        self._cs_threshold_mw = dbm_to_mw(config.cs_threshold_dbm)
+        self._noise_mw = dbm_to_mw(config.noise_floor_dbm)
+        self._in_air: dict = {}  # Transmission -> rx power mW
+        self._current_tx: Optional[Transmission] = None
+        self._lock: Optional[_ReceptionLock] = None
+        self._busy = False
+        # Counters (inspected by tests and metrics).
+        self.frames_received = 0
+        self.frames_corrupted = 0
+        self.frames_missed = 0
+        self.frames_transmitted = 0
+        #: Cumulative airtime spent transmitting (ns) — duty-cycle metric.
+        self.airtime_tx_ns = 0
+        channel.attach(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_mac(self, mac) -> None:
+        """Attach the MAC entity that receives PHY indications."""
+        self.mac = mac
+
+    def move_to(self, position: Point) -> None:
+        """Update the radio's physical position (mobility support).
+
+        Cached per-link shadowing draws to/from this radio describe paths
+        that no longer exist, so they are dropped.
+        """
+        self.position = position
+        self.channel.invalidate_link_shadowing(self.radio_id)
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def transmitting(self) -> bool:
+        """True while this radio's own frame is on the air."""
+        return self._current_tx is not None
+
+    def energy_mw(self) -> float:
+        """Total in-air power currently measured at this radio (mW)."""
+        if not self._in_air:
+            return 0.0
+        return sum(self._in_air.values())
+
+    def energy_dbm(self) -> float:
+        """In-air power in dBm; the noise floor when nothing is in the air."""
+        energy = self.energy_mw()
+        if energy <= 0.0:
+            return self.config.noise_floor_dbm
+        return mw_to_dbm(energy + self._noise_mw)
+
+    def medium_busy(self) -> bool:
+        """Clear-channel assessment: own transmission or energy over T_cs."""
+        return self.transmitting or self.energy_mw() >= self._cs_threshold_mw
+
+    @property
+    def noise_mw(self) -> float:
+        """Thermal noise floor in mW."""
+        return self._noise_mw
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def start_transmission(self, frame: "Frame") -> Transmission:
+        """Begin sending ``frame``; the radio is deaf until it completes."""
+        if self._current_tx is not None:
+            raise RuntimeError(
+                f"radio {self.radio_id} is already transmitting "
+                f"{self._current_tx.frame.describe()}"
+            )
+        if self._lock is not None:
+            # Physically we cannot keep receiving while transmitting; the
+            # half-received frame is lost.
+            self.frames_missed += 1
+            self._lock = None
+        self.frames_transmitted += 1
+        self._current_tx = self.channel.transmit(self, frame)
+        self._update_busy()
+        return self._current_tx
+
+    def on_own_tx_end(self, tx: Transmission) -> None:
+        """Channel callback: this radio's own frame finished."""
+        assert tx is self._current_tx, "transmission bookkeeping out of sync"
+        self._current_tx = None
+        self.airtime_tx_ns += tx.duration_ns
+        frame = tx.frame
+        self._update_busy()
+        if self.mac is not None:
+            self.mac.on_tx_complete(frame)
+
+    # ------------------------------------------------------------------
+    # Receive path (channel callbacks)
+    # ------------------------------------------------------------------
+    def on_air_start(self, tx: Transmission, power_mw: float) -> None:
+        """A foreign transmission began; update CCA and reception state."""
+        self._in_air[tx] = power_mw
+        if self._current_tx is None:
+            if self._lock is None:
+                sensitivity_mw = dbm_to_mw(tx.frame.rate.sensitivity_dbm)
+                if power_mw >= sensitivity_mw:
+                    interference = self.energy_mw() - power_mw
+                    self._lock = _ReceptionLock(tx, power_mw, interference)
+                    self._maybe_schedule_embedded_decode(self._lock)
+                else:
+                    self.frames_missed += 1
+            elif self.config.capture and self._captures_over_lock(tx, power_mw):
+                # Message-in-message capture: the new frame drowns out the
+                # ongoing reception; re-lock and count the old one lost.
+                self.frames_missed += 1
+                interference = self.energy_mw() - power_mw
+                self._lock = _ReceptionLock(tx, power_mw, interference)
+                self._maybe_schedule_embedded_decode(self._lock)
+            else:
+                # New arrival is interference for the ongoing reception.
+                lock = self._lock
+                interference = self.energy_mw() - lock.signal_mw
+                if interference > lock.max_interference_mw:
+                    lock.max_interference_mw = interference
+        # While transmitting we are deaf: the frame is silently missed but
+        # still contributes energy once our own transmission finishes.
+        self._update_busy()
+        if self.mac is not None:
+            self.mac.on_energy_changed(self.energy_mw())
+
+    def on_air_end(self, tx: Transmission) -> None:
+        """A foreign transmission ended; maybe complete a reception."""
+        self._in_air.pop(tx, None)
+        lock = self._lock
+        if lock is not None and lock.tx is tx:
+            self._lock = None
+            self._finish_reception(lock)
+        self._update_busy()
+        if self.mac is not None:
+            self.mac.on_energy_changed(self.energy_mw())
+
+    def _maybe_schedule_embedded_decode(self, lock: _ReceptionLock) -> None:
+        """Partial packet decode of an embedded announcement (CO-MAP v1).
+
+        The paper's first header implementation inserts an extra FCS
+        after the sequence-number field "so that the PHY layer can pass
+        the source and destination addresses to upper layers before the
+        receipt of frame payload".  We model it by delivering the
+        announcement once the address portion has been on the air —
+        provided the lock survives (no capture/abort) and the
+        interference seen so far leaves the header decodable.
+        """
+        frame = lock.tx.frame
+        if not frame.meta.get("embedded_announce"):
+            return
+        from repro.mac.frames import EMBEDDED_DECODE_BYTES
+
+        delay = frame.rate.airtime_ns(EMBEDDED_DECODE_BYTES)
+        self.sim.schedule(delay, self._embedded_decode, lock)
+
+    def _embedded_decode(self, lock: _ReceptionLock) -> None:
+        """Deliver the announcement if the header portion decoded cleanly."""
+        if self._lock is not lock or self.mac is None:
+            return
+        sir = lock.signal_mw / (lock.max_interference_mw + self._noise_mw)
+        threshold = 10.0 ** (lock.tx.frame.rate.sir_threshold_db / 10.0)
+        if sir >= threshold:
+            self.mac.on_header_overheard(lock.tx.frame, mw_to_dbm(lock.signal_mw))
+
+    def _captures_over_lock(self, tx: Transmission, power_mw: float) -> bool:
+        """Would ``tx`` decode with everything else (incl. the lock) as noise?"""
+        sensitivity_mw = dbm_to_mw(tx.frame.rate.sensitivity_dbm)
+        if power_mw < sensitivity_mw:
+            return False
+        interference = self.energy_mw() - power_mw
+        threshold = 10.0 ** (tx.frame.rate.sir_threshold_db / 10.0)
+        return power_mw / (interference + self._noise_mw) >= threshold
+
+    def _finish_reception(self, lock: _ReceptionLock) -> None:
+        """Apply the SIR test and deliver or discard the frame."""
+        frame = lock.tx.frame
+        sir = lock.signal_mw / (lock.max_interference_mw + self._noise_mw)
+        threshold = 10.0 ** (frame.rate.sir_threshold_db / 10.0)
+        rssi_dbm = mw_to_dbm(lock.signal_mw)
+        if sir >= threshold:
+            self.frames_received += 1
+            if self.mac is not None:
+                self.mac.on_frame_received(frame, rssi_dbm)
+        else:
+            self.frames_corrupted += 1
+            if self.mac is not None:
+                self.mac.on_frame_corrupted(frame)
+
+    # ------------------------------------------------------------------
+    # CCA transitions
+    # ------------------------------------------------------------------
+    def _update_busy(self) -> None:
+        """Recompute CCA and notify the MAC on busy/idle edges."""
+        busy = self.medium_busy()
+        if busy == self._busy:
+            return
+        self._busy = busy
+        if self.mac is None:
+            return
+        if busy:
+            self.mac.on_medium_busy()
+        else:
+            self.mac.on_medium_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Radio {self.radio_id} at {self.position}>"

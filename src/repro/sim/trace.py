@@ -1,0 +1,98 @@
+"""Structured event tracing.
+
+A lightweight, optional recorder that subsystems call into (``channel``,
+``mac``, ``arq`` categories).  Traces power the timeline-style analyses of
+the paper's Fig. 6 (DCF vs CO-MAP communication procedure) and are heavily
+used by integration tests to assert *sequencing* properties that end-state
+metrics cannot see (e.g. "the exposed terminal started while the first
+transmission was still in the air").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: time, category, event name, and free-form detail."""
+
+    time: int
+    category: str
+    name: str
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up one detail field by name."""
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.time:>12d}] {self.category}/{self.name} {kv}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a run.
+
+    Recording is off unless categories are enabled, so the hot path costs a
+    single set-membership test when tracing is unused.
+    """
+
+    def __init__(self, categories: Optional[List[str]] = None) -> None:
+        self._enabled = set(categories or [])
+        self._events: List[TraceEvent] = []
+        self._clock: Callable[[], int] = lambda: 0
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulator clock used to timestamp records."""
+        self._clock = clock
+
+    def enable(self, category: str) -> None:
+        """Start recording events of ``category``."""
+        self._enabled.add(category)
+
+    def wants(self, category: str) -> bool:
+        """True when ``category`` is being recorded (cheap guard for callers)."""
+        return category in self._enabled
+
+    def record(self, category: str, name: str, **detail: Any) -> None:
+        """Record one event if its category is enabled."""
+        if category not in self._enabled:
+            return
+        self._events.append(
+            TraceEvent(
+                time=self._clock(),
+                category=category,
+                name=name,
+                detail=tuple(sorted(detail.items())),
+            )
+        )
+
+    def events(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> List[TraceEvent]:
+        """Return recorded events, optionally filtered by category and name."""
+        out = self._events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if name is not None:
+            out = [e for e in out if e.name == name]
+        return list(out)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of ``category/name`` occurrences."""
+        hist: Dict[str, int] = {}
+        for event in self._events:
+            key = f"{event.category}/{event.name}"
+            hist[key] = hist.get(key, 0) + 1
+        return hist

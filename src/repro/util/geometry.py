@@ -1,0 +1,35 @@
+"""Planar geometry primitives for node placement.
+
+The paper works with 2-D coordinates (a neighbor table stores ``X``/``Y``
+per node, Fig. 3).  All distances are in meters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D position in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in meters."""
+    return a.distance_to(b)

@@ -1,0 +1,114 @@
+"""Selective-repeat ARQ bookkeeping invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.arq import SrReceiver, SrSender
+
+
+class TestSrSender:
+    def test_defer_and_confirm(self):
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        sender.defer(2, "b")
+        assert sender.outstanding == 2
+        confirmed = sender.confirm([1])
+        assert confirmed == ["a"]
+        assert sender.outstanding == 1
+
+    def test_window_full_blocks_defer(self):
+        sender = SrSender(window_size=2)
+        sender.defer(1, "a")
+        sender.defer(2, "b")
+        assert sender.window_full
+        with pytest.raises(RuntimeError):
+            sender.defer(3, "c")
+
+    def test_duplicate_seq_rejected(self):
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        with pytest.raises(ValueError):
+            sender.defer(1, "b")
+
+    def test_retransmit_oldest_first(self):
+        sender = SrSender(window_size=4)
+        sender.defer(5, "a")
+        sender.defer(6, "b")
+        seq, item = sender.next_retransmit()
+        assert (seq, item) == (5, "a")
+        assert sender.outstanding == 1
+
+    def test_retransmit_empty_returns_none(self):
+        assert SrSender(window_size=2).next_retransmit() is None
+
+    def test_confirm_unknown_seqs_is_noop(self):
+        sender = SrSender(window_size=2)
+        sender.defer(1, "a")
+        assert sender.confirm([9, 10]) == []
+        assert sender.outstanding == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SrSender(window_size=0)
+
+    def test_counters(self):
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        sender.confirm([1])
+        assert sender.advances == 1
+        assert sender.late_confirms == 1
+
+    @given(st.lists(st.integers(0, 1000), unique=True, min_size=1, max_size=30))
+    def test_every_deferred_item_leaves_exactly_once(self, seqs):
+        # Invariant: defer -> (confirm | retransmit) exactly once; nothing
+        # is lost and nothing duplicates.
+        sender = SrSender(window_size=len(seqs))
+        for seq in seqs:
+            sender.defer(seq, f"item-{seq}")
+        confirmed = sender.confirm(seqs[::2])
+        retransmitted = []
+        while True:
+            entry = sender.next_retransmit()
+            if entry is None:
+                break
+            retransmitted.append(entry[1])
+        out = sorted(confirmed + retransmitted)
+        assert out == sorted(f"item-{s}" for s in seqs)
+        assert sender.outstanding == 0
+
+
+class TestSrReceiver:
+    def test_records_recent_sequences(self):
+        receiver = SrReceiver(history=4)
+        for seq in (1, 2, 3):
+            receiver.on_received(seq)
+        assert receiver.ack_payload() == (1, 2, 3)
+
+    def test_history_bounded(self):
+        receiver = SrReceiver(history=3)
+        for seq in range(10):
+            receiver.on_received(seq)
+        assert receiver.ack_payload() == (7, 8, 9)
+
+    def test_duplicate_moves_to_end(self):
+        receiver = SrReceiver(history=3)
+        for seq in (1, 2, 3):
+            receiver.on_received(seq)
+        receiver.on_received(1)
+        assert receiver.ack_payload() == (2, 3, 1)
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            SrReceiver(history=0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100),
+           st.integers(min_value=1, max_value=16))
+    def test_payload_never_exceeds_history(self, seqs, history):
+        receiver = SrReceiver(history=history)
+        for seq in seqs:
+            receiver.on_received(seq)
+        payload = receiver.ack_payload()
+        assert len(payload) <= history
+        assert len(set(payload)) == len(payload)
+        # The most recent sequence is always confirmable.
+        assert seqs[-1] in payload

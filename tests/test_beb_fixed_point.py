@@ -1,0 +1,129 @@
+"""Bianchi's full BEB fixed point and its validation against the DCF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytical.bianchi import BebFixedPoint, BianchiSlotModel
+from repro.experiments.params import ns2_params
+from repro.mac.timing import OFDM_TIMING
+from repro.net.network import Network
+from repro.phy.rates import OFDM_RATES
+
+
+def make_model(cw_min=31, cw_max=1023):
+    slot_model = BianchiSlotModel(
+        OFDM_TIMING, OFDM_RATES.by_bps(6_000_000), OFDM_RATES.base
+    )
+    return BebFixedPoint(slot_model, cw_min=cw_min, cw_max=cw_max)
+
+
+class TestFixedPoint:
+    def test_stage_count(self):
+        assert make_model(31, 1023).stages == 5
+        assert make_model(31, 31).stages == 0
+
+    def test_single_station_matches_constant_window(self):
+        model = make_model()
+        tau, p = model.solve(0)
+        assert p == 0.0
+        assert tau == pytest.approx(2.0 / 33.0)
+
+    def test_collision_probability_grows_with_contenders(self):
+        model = make_model()
+        ps = [model.solve(c)[1] for c in (1, 3, 6, 10)]
+        assert ps == sorted(ps)
+
+    def test_tau_shrinks_with_contenders(self):
+        model = make_model()
+        taus = [model.solve(c)[0] for c in (1, 3, 6, 10)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_beb_tau_below_constant_cwmin_tau(self):
+        # Backoff inflation: under collisions, BEB stations transmit less
+        # often than a constant CWmin would.
+        model = make_model()
+        tau, _ = model.solve(8)
+        assert tau < 2.0 / 33.0
+
+    def test_no_stages_is_constant_window(self):
+        model = make_model(31, 31)
+        tau, _ = model.solve(8)
+        assert tau == pytest.approx(2.0 / 33.0)
+
+    def test_consistency_of_fixed_point(self):
+        model = make_model()
+        tau, p = model.solve(6)
+        assert p == pytest.approx(1.0 - (1.0 - tau) ** 6, abs=1e-8)
+        assert tau == pytest.approx(model.tau_of_p(p), abs=1e-8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            make_model(0, 1023)
+        with pytest.raises(ValueError):
+            make_model().solve(-1)
+        with pytest.raises(ValueError):
+            make_model().tau_of_p(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=30))
+    def test_solve_always_converges_in_range(self, contenders):
+        tau, p = make_model().solve(contenders)
+        assert 0.0 < tau < 1.0
+        assert 0.0 <= p < 1.0
+
+
+class TestGoodput:
+    def test_goodput_decreases_with_contenders(self):
+        model = make_model()
+        g = [model.goodput_bps(c, 1000) for c in (0, 2, 5, 9)]
+        assert g == sorted(g, reverse=True)
+
+    def test_aggregate_bounded_by_phy_rate(self):
+        model = make_model()
+        for c in (0, 4, 9):
+            assert (c + 1) * model.goodput_bps(c, 1000) < 6_000_000
+
+    def test_matches_simulator_with_real_beb(self):
+        # The headline validation: the BEB fixed point predicts the DES's
+        # saturated DCF goodput within a few percent at low-to-moderate n
+        # (the gap at large n is the capture effect Bianchi ignores).
+        model = make_model()
+        for contenders, tolerance in ((0, 0.05), (2, 0.08), (5, 0.12)):
+            predicted = model.goodput_bps(contenders, 1000)
+            net = Network(ns2_params(), seed=1)
+            ap = net.add_ap("AP", 0, 0)
+            clients = [
+                net.add_client(f"C{i}", 10 + 0.3 * i, i % 3, ap=ap)
+                for i in range(contenders + 1)
+            ]
+            net.finalize()
+            for client in clients:
+                net.add_saturated(client, ap, payload_bytes=1000)
+            results = net.run(1.0)
+            measured = results.goodput_bps(clients[0].node_id, ap.node_id)
+            assert measured == pytest.approx(predicted, rel=tolerance)
+
+
+class TestAirtimeAccounting:
+    def test_airtime_share_reported(self):
+        net = Network(ns2_params(), seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        c = net.add_client("C", 10, 0, ap=ap)
+        net.finalize()
+        net.add_saturated(c, ap)
+        results = net.run(0.3)
+        share = results.airtime_share[c.node_id]
+        # A saturated 6 Mbps sender spends most of its time on-air.
+        assert 0.5 < share < 1.0
+        # The AP transmits only ACKs.
+        assert 0.0 < results.airtime_share[ap.node_id] < 0.2
+
+    def test_idle_node_has_zero_share(self):
+        net = Network(ns2_params(), seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        c = net.add_client("C", 10, 0, ap=ap)
+        idle = net.add_client("I", 20, 0, ap=ap)
+        net.finalize()
+        net.add_saturated(c, ap)
+        results = net.run(0.2)
+        assert results.airtime_share[idle.node_id] == 0.0

@@ -1,0 +1,94 @@
+"""Bianchi slot model (eqs. 5-8, h = 0)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytical.bianchi import BianchiSlotModel
+from repro.mac.timing import OFDM_TIMING
+from repro.phy.rates import OFDM_RATES
+
+
+def make_model(extra_header_ns=0):
+    return BianchiSlotModel(
+        OFDM_TIMING,
+        OFDM_RATES.by_bps(6_000_000),
+        OFDM_RATES.base,
+        extra_header_ns=extra_header_ns,
+    )
+
+
+class TestTau:
+    def test_tau_formula(self):
+        assert BianchiSlotModel.tau_for_window(63) == pytest.approx(2 / 64)
+        assert BianchiSlotModel.tau_for_window(1023) == pytest.approx(2 / 1024)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            BianchiSlotModel.tau_for_window(0)
+
+
+class TestSlotBreakdown:
+    def test_probabilities_consistent(self):
+        slot = make_model().slot(window=63, contenders=5, payload_bytes=1000)
+        assert 0.0 < slot.tau < 1.0
+        assert 0.0 < slot.p_tr < 1.0
+        assert 0.0 < slot.p_s <= 1.0
+        # P_tr = 1 - (1 - tau)^(c+1)
+        assert slot.p_tr == pytest.approx(1 - (1 - slot.tau) ** 6)
+        # P_s = (c+1) tau (1 - tau)^c / P_tr
+        assert slot.p_s == pytest.approx(6 * slot.tau * (1 - slot.tau) ** 5 / slot.p_tr)
+
+    def test_expected_slot_between_extremes(self):
+        slot = make_model().slot(63, 5, 1000)
+        assert slot.t_empty_ns < slot.expected_slot_ns < slot.t_success_ns
+
+    def test_single_station_never_collides(self):
+        slot = make_model().slot(63, 0, 1000)
+        assert slot.p_s == pytest.approx(1.0)
+
+    def test_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.slot(63, -1, 1000)
+        with pytest.raises(ValueError):
+            model.slot(63, 1, 0)
+
+    def test_extra_header_inflates_times(self):
+        plain = make_model().slot(63, 2, 500)
+        inflated = make_model(extra_header_ns=50_000).slot(63, 2, 500)
+        assert inflated.t_success_ns == plain.t_success_ns + 50_000
+        assert inflated.t_collision_ns == plain.t_collision_ns + 50_000
+
+
+class TestGoodput:
+    def test_goodput_positive_and_below_phy_rate(self):
+        g = make_model().goodput_bps(63, 5, 1000)
+        assert 0 < g < 6_000_000
+
+    def test_aggregate_bounded_by_capacity(self):
+        # (c+1) stations' aggregate stays under the PHY rate.
+        g = make_model().goodput_bps(63, 5, 1000)
+        assert 6 * g < 6_000_000
+
+    def test_more_contenders_lower_per_link_goodput(self):
+        model = make_model()
+        assert model.goodput_bps(63, 8, 1000) < model.goodput_bps(63, 2, 1000)
+
+    def test_larger_payload_better_without_hts(self):
+        # Fig. 7(a): "the highest goodput of a link without HT is achieved
+        # with the largest payload length".
+        model = make_model()
+        curve = [model.goodput_bps(63, 5, L) for L in (200, 600, 1000, 1600, 2000)]
+        assert curve == sorted(curve)
+
+    def test_small_window_better_without_hts(self):
+        # Fig. 7(a): "... and a small CW size".
+        model = make_model()
+        assert model.goodput_bps(63, 5, 1500) > model.goodput_bps(1023, 5, 1500)
+
+    @given(st.sampled_from([31, 63, 127, 255, 511, 1023]),
+           st.integers(min_value=0, max_value=10),
+           st.integers(min_value=50, max_value=2000))
+    def test_goodput_always_positive_and_finite(self, window, contenders, payload):
+        g = make_model().goodput_bps(window, contenders, payload)
+        assert 0 < g < 54_000_000

@@ -1,0 +1,50 @@
+"""Confidence intervals over repeated runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import ConfidenceInterval, confidence_interval
+
+
+class TestConfidenceInterval:
+    def test_known_values(self):
+        ci = confidence_interval([10.0, 12.0, 11.0, 13.0, 9.0], confidence=0.95)
+        assert ci.mean == pytest.approx(11.0)
+        assert ci.count == 5
+        assert ci.low < 11.0 < ci.high
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_higher_confidence_widens(self):
+        samples = [1.0, 2.0, 3.0, 2.0, 1.5]
+        assert (confidence_interval(samples, 0.99).half_width
+                > confidence_interval(samples, 0.90).half_width)
+
+    def test_identical_samples_zero_width(self):
+        ci = confidence_interval([5.0] * 10)
+        assert ci.half_width == 0.0
+        assert ci.contains(5.0)
+
+    def test_coverage_statistics(self):
+        # ~95% of 95% CIs over normal draws must contain the true mean.
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            samples = rng.normal(10.0, 2.0, size=10)
+            if confidence_interval(samples, 0.95).contains(10.0):
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=40))
+    def test_interval_always_contains_mean(self, samples):
+        ci = confidence_interval(samples)
+        assert ci.contains(ci.mean)
+        assert ci.low <= ci.high

@@ -1,0 +1,190 @@
+"""The discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(123, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [123]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_zero_delay_runs_after_current_instant_events(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0, order.append, "inner")
+
+        sim.schedule(10, outer)
+        sim.schedule(10, order.append, "peer")
+        sim.run()
+        assert order == ["outer", "peer", "inner"]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 5:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert hits == [0, 1, 2, 3, 4, 5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_flag(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_fired_event_reports_not_pending(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert not handle.pending
+
+    def test_pending_events_count_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        h1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_until_horizon_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+
+    def test_events_at_horizon_still_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, fired.append, "edge")
+        sim.run(until=50)
+        assert fired == ["edge"]
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        sim.run(until=150)
+        assert fired == ["late"]
+
+    def test_max_events_limits(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1, nested)
+        sim.run()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+
+class TestDeterminismProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1000),
+                      st.integers(min_value=0, max_value=9)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_replay_produces_identical_order(self, entries):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for delay, tag in entries:
+                sim.schedule(delay, lambda t=tag: order.append((sim.now, t)))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50)
+    )
+    def test_fire_times_are_sorted(self, delays):
+        sim = Simulator()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)

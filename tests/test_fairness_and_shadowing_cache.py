@@ -1,0 +1,65 @@
+"""Fairness reporting and per-link shadowing-cache invalidation."""
+
+import pytest
+
+from repro.experiments.params import ns2_params
+from repro.net.network import Network
+from repro.util.geometry import Point
+
+from tests.conftest import build_phy_world
+
+
+class TestResultsFairness:
+    def make_results(self):
+        net = Network(ns2_params(), seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        c1 = net.add_client("C1", 10, 0, ap=ap)
+        c2 = net.add_client("C2", -10, 0, ap=ap)
+        net.finalize()
+        net.add_saturated(c1, ap)
+        net.add_saturated(c2, ap)
+        return net.run(0.3), ap, c1, c2
+
+    def test_symmetric_contenders_are_fair(self):
+        results, ap, c1, c2 = self.make_results()
+        assert results.fairness() > 0.9
+
+    def test_explicit_flow_list_with_starved_flow(self):
+        results, ap, c1, c2 = self.make_results()
+        flows = [(c1.node_id, ap.node_id), (c2.node_id, ap.node_id),
+                 (ap.node_id, c1.node_id)]  # downlink never carried data
+        fairness = results.fairness(flows)
+        assert fairness < results.fairness()
+
+    def test_empty_flow_list_rejected(self):
+        results, *_ = self.make_results()
+        with pytest.raises(ValueError):
+            results.fairness([])
+
+
+class TestShadowingCacheInvalidation:
+    def test_per_link_draw_refreshes_after_move(self):
+        world = build_phy_world([(0, 0), (20, 0)], sigma_db=6.0,
+                                shadowing_mode="per_link")
+        tx1 = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        before = tx1.rx_power_mw[1]
+        # Same position, no move: the draw is sticky.
+        tx2 = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert tx2.rx_power_mw[1] == before
+        # A move invalidates the cached draw (beyond the deterministic
+        # path-loss change, the shadowing realization itself refreshes).
+        world.radios[1].move_to(Point(20.0, 0.001))
+        tx3 = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert tx3.rx_power_mw[1] != before
+
+    def test_invalidation_counts_entries(self):
+        world = build_phy_world([(0, 0), (20, 0), (40, 0)], sigma_db=6.0,
+                                shadowing_mode="per_link")
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        # Draws exist for (0->1) and (0->2).
+        assert world.channel.invalidate_link_shadowing(0) == 2
+        assert world.channel.invalidate_link_shadowing(0) == 0

@@ -1,0 +1,46 @@
+"""Planar geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.geometry import Point, distance
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_function_matches_method(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert distance(a, b) == a.distance_to(b)
+
+    def test_translate(self):
+        assert Point(1, 1).translate(2, -1) == Point(3, 0)
+
+    def test_points_are_immutable(self):
+        p = Point(0, 0)
+        with pytest.raises(Exception):
+            p.x = 5
+
+    def test_unpacking(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(coords, coords)
+    def test_self_distance_zero(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0

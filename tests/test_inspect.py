@@ -1,0 +1,58 @@
+"""Interference-structure surveys."""
+
+import pytest
+
+from repro.experiments.inspect import survey_network
+from repro.experiments.topologies import (
+    exposed_terminal_topology,
+    ht_adaptation_topology,
+    office_floor_topology,
+)
+
+
+class TestSurvey:
+    def test_requires_comap_agents(self):
+        scenario = exposed_terminal_topology("dcf", c2_x=30.0)
+        with pytest.raises(ValueError):
+            survey_network(scenario.network, [scenario.tagged_flow])
+
+    def test_exposed_link_detected(self):
+        scenario = exposed_terminal_topology("comap", c2_x=30.0)
+        survey = survey_network(scenario.network, [scenario.tagged_flow])
+        assert survey.link_count == 1
+        assert survey.profiles[0].has_exposed_opportunity
+        assert survey.et_link_fraction == 1.0
+
+    def test_non_exposed_link(self):
+        scenario = exposed_terminal_topology("comap", c2_x=12.0)
+        survey = survey_network(scenario.network, [scenario.tagged_flow])
+        assert not survey.profiles[0].has_exposed_opportunity
+
+    def test_hidden_terminals_listed(self):
+        scenario = ht_adaptation_topology("comap", slots=(3, 4, 5))
+        survey = survey_network(scenario.network, [scenario.tagged_flow])
+        profile = survey.profiles[0]
+        assert profile.hidden_count == 3
+        assert survey.ht_link_fraction == 1.0
+
+    def test_office_floor_statistics(self):
+        scenario = office_floor_topology("comap", topology_seed=1000)
+        survey = survey_network(scenario.network, scenario.extra["flows"])
+        assert survey.link_count == 18
+        assert 0.0 <= survey.et_link_fraction <= 1.0
+        # Clustered clients around 60 m-spaced APs: ETs are plentiful.
+        assert survey.et_link_fraction > 0.5
+
+    def test_render_contains_summary(self):
+        scenario = ht_adaptation_topology("comap", slots=(3, 4, 5))
+        survey = survey_network(scenario.network, [scenario.tagged_flow])
+        text = survey.render(names={n.node_id: n.name
+                                    for n in scenario.network.nodes.values()})
+        assert "links have at least one ET" in text
+        assert "C1" in text
+
+    def test_empty_survey_fractions_raise(self):
+        from repro.experiments.inspect import InterferenceSurvey
+
+        with pytest.raises(ValueError):
+            InterferenceSurvey().et_link_fraction

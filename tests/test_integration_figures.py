@@ -1,0 +1,139 @@
+"""Scaled-down end-to-end reproductions of the paper's key effects.
+
+These are the same scenarios the benchmark harness runs at full scale,
+shrunk to keep the suite fast.  Assertions target *direction and shape*
+(who wins, where the optimum lies), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytical.bianchi import BianchiSlotModel
+from repro.analytical.ht_model import HtGoodputModel
+from repro.experiments.params import ht_params, ns2_params
+from repro.experiments.runner import (
+    run_exposed_sweep,
+    run_ht_cdf,
+    run_model_validation,
+    run_multi_et,
+    run_office_floor,
+    run_payload_sweep,
+)
+from repro.net.localization import UniformDiskError
+
+
+class TestFig1ExposedTerminalBaseline:
+    def test_dcf_goodput_dips_in_et_region(self):
+        points = run_exposed_sweep(
+            [18.0, 28.0, 42.0], mac_kinds=("dcf",), duration_s=0.6, repeats=2, seed=1
+        )
+        by_x = {p.x: p.goodput_mbps["dcf"] for p in points}
+        # Far C2 (42 m) leaves the tagged link much better off than a
+        # C2 sharing the channel from inside the CS range.
+        assert by_x[42.0] > by_x[28.0]
+
+
+class TestFig2HiddenTerminalBaseline:
+    def test_ht_crushes_goodput_and_payload_matters(self):
+        curves = run_payload_sweep(
+            [200, 900, 1800], hidden_counts=(0, 1), duration_s=0.8, repeats=2, seed=2
+        )
+        no_ht = {int(p.x): p.goodput_mbps["dcf"] for p in curves[0]}
+        one_ht = {int(p.x): p.goodput_mbps["dcf"] for p in curves[1]}
+        # Without HT: monotone increasing in payload.
+        assert no_ht[1800] > no_ht[900] > no_ht[200]
+        # With one hidden terminal the link collapses at every size.
+        assert all(one_ht[L] < no_ht[L] / 3 for L in (200, 900, 1800))
+
+
+class TestFig7ModelValidation:
+    def test_model_tracks_simulation_without_hts(self):
+        points = run_model_validation(
+            windows=(63, 1023), hidden_counts=(0,), payloads=(600, 1400),
+            duration_s=0.8, seed=0,
+        )
+        for p in points:
+            assert p.sim_mbps == pytest.approx(p.model_mbps, rel=0.20)
+
+    def test_hidden_terminals_reduce_both_model_and_sim(self):
+        base = run_model_validation(
+            windows=(255,), hidden_counts=(0, 5), payloads=(1000,),
+            duration_s=0.8, seed=0,
+        )
+        g = {(p.hidden): (p.model_mbps, p.sim_mbps) for p in base}
+        assert g[5][0] < g[0][0]
+        assert g[5][1] < g[0][1]
+
+    def test_analytical_claims_of_section_iv(self):
+        params = ht_params()
+        model = HtGoodputModel(
+            BianchiSlotModel(params.timing,
+                             params.rates.by_bps(params.data_rate_bps),
+                             params.rates.base)
+        )
+        # No HT: largest payload and small CW win.
+        assert model.goodput_bps(63, 5, 0, 2000) > model.goodput_bps(63, 5, 0, 500)
+        assert model.goodput_bps(63, 5, 0, 2000) > model.goodput_bps(1023, 5, 0, 2000)
+        # Many HTs: max CW wins (homogeneous assumption).
+        assert model.goodput_bps(1023, 5, 5, 1000) > model.goodput_bps(63, 5, 5, 1000)
+
+
+class TestFig8ComapExposedGain:
+    def test_comap_wins_in_et_region(self):
+        points = run_exposed_sweep([30.0, 34.0], duration_s=0.8, repeats=2, seed=3)
+        gains = [
+            p.goodput_mbps["comap"] / p.goodput_mbps["dcf"] - 1 for p in points
+        ]
+        assert np.mean(gains) > 0.03
+
+    def test_comap_harmless_outside_et_region(self):
+        points = run_exposed_sweep([14.0], duration_s=0.8, repeats=2, seed=3)
+        p = points[0]
+        assert p.goodput_mbps["comap"] > 0.85 * p.goodput_mbps["dcf"]
+
+
+class TestFig9ComapHiddenGain:
+    def test_comap_beats_dcf_across_configurations(self):
+        samples = run_ht_cdf(duration_s=1.0, seed=4)
+        dcf, comap = np.mean(samples["dcf"]), np.mean(samples["comap"])
+        assert comap > dcf * 1.1
+
+    def test_comap_dominates_in_worst_configurations(self):
+        samples = run_ht_cdf(duration_s=1.0, seed=4)
+        # The paper's CDF: CO-MAP lifts the left (HT-afflicted) tail.
+        assert np.median(sorted(samples["comap"])[:5]) > np.median(sorted(samples["dcf"])[:5])
+
+
+class TestFig10LargeScale:
+    def test_comap_gains_and_degrades_gracefully_with_error(self):
+        variants = [
+            ("dcf", "dcf", None),
+            ("comap0", "comap", None),
+            ("comap10", "comap", UniformDiskError(10.0)),
+        ]
+        samples = run_office_floor(variants, n_topologies=3, duration_s=0.6, seed=5)
+        dcf = np.mean(samples["dcf"])
+        comap0 = np.mean(samples["comap0"])
+        comap10 = np.mean(samples["comap10"])
+        assert comap0 > dcf
+        # Imperfect hints still help, though less (paper: 38.5 % -> 18.7 %).
+        assert comap10 > dcf * 0.98
+        assert comap10 <= comap0 * 1.05
+
+
+class TestFig6MultiEt:
+    def test_comap_beats_dcf_with_three_exposed_links(self):
+        outcomes = run_multi_et(duration_s=0.8, seed=6)
+        assert outcomes["comap"] > outcomes["dcf"] * 1.2
+
+
+class TestEnhancedSchedulerValue:
+    def test_scheduler_prevents_rival_et_collisions(self):
+        from repro.experiments.runner import run_rival_et
+
+        outcomes = run_rival_et(duration_s=0.8, seeds=(1, 2))
+        # Concurrency helps either way...
+        assert outcomes["comap"] > outcomes["dcf"]
+        # ... but without the RSSI monitor the two rivals trample each
+        # other at the shared AP.
+        assert outcomes["comap"] > outcomes["comap-no-scheduler"] * 1.15

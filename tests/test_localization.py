@@ -1,0 +1,80 @@
+"""Localization error models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.localization import GaussianError, NoError, UniformDiskError
+from repro.util.geometry import Point
+
+
+class TestNoError:
+    def test_identity(self):
+        rng = np.random.default_rng(0)
+        p = Point(3.0, 4.0)
+        assert NoError().apply(p, rng) == p
+
+
+class TestUniformDiskError:
+    def test_zero_radius_is_identity(self):
+        rng = np.random.default_rng(0)
+        p = Point(1.0, 2.0)
+        assert UniformDiskError(0.0).apply(p, rng) == p
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            UniformDiskError(-1.0)
+
+    def test_error_bounded_by_radius(self):
+        rng = np.random.default_rng(1)
+        model = UniformDiskError(10.0)
+        origin = Point(0.0, 0.0)
+        for _ in range(500):
+            reported = model.apply(origin, rng)
+            assert origin.distance_to(reported) <= 10.0 + 1e-9
+
+    def test_area_uniformity(self):
+        # Area-uniform draws put ~25 % of points inside half the radius^...
+        # precisely: P(r <= R/2) = 1/4 for area-uniform.
+        rng = np.random.default_rng(2)
+        model = UniformDiskError(10.0)
+        origin = Point(0.0, 0.0)
+        inside = sum(
+            origin.distance_to(model.apply(origin, rng)) <= 5.0 for _ in range(4000)
+        )
+        assert inside / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_mean_error_reasonable(self):
+        # Area-uniform disk: E[r] = 2R/3.
+        rng = np.random.default_rng(3)
+        model = UniformDiskError(9.0)
+        origin = Point(0.0, 0.0)
+        errors = [origin.distance_to(model.apply(origin, rng)) for _ in range(3000)]
+        assert np.mean(errors) == pytest.approx(6.0, abs=0.25)
+
+    @given(st.floats(min_value=-100, max_value=100),
+           st.floats(min_value=-100, max_value=100))
+    def test_centered_on_true_position(self, x, y):
+        rng = np.random.default_rng(4)
+        model = UniformDiskError(3.0)
+        p = Point(x, y)
+        assert p.distance_to(model.apply(p, rng)) <= 3.0 + 1e-9
+
+
+class TestGaussianError:
+    def test_zero_sigma_is_identity(self):
+        rng = np.random.default_rng(0)
+        p = Point(1.0, 2.0)
+        assert GaussianError(0.0).apply(p, rng) == p
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianError(-1.0)
+
+    def test_spread_matches_sigma(self):
+        rng = np.random.default_rng(5)
+        model = GaussianError(2.0)
+        origin = Point(0.0, 0.0)
+        xs = [model.apply(origin, rng).x for _ in range(4000)]
+        assert np.std(xs) == pytest.approx(2.0, abs=0.15)
+        assert np.mean(xs) == pytest.approx(0.0, abs=0.15)

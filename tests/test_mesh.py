@@ -1,0 +1,86 @@
+"""Static mesh forwarding (the paper's conclusion scenario)."""
+
+import pytest
+
+from repro.experiments.params import testbed_params as make_testbed_params
+from repro.net.mesh import MeshRouter, build_mesh_chain
+from repro.net.network import Network
+
+
+def mesh_net(kind="dcf", hops=3, hop_len=22.0, seed=1):
+    params = make_testbed_params().with_overrides(data_rate_bps=6_000_000)
+    net = Network(params, mac_kind=kind, seed=seed)
+    nodes, router = build_mesh_chain(net, hop_count=hops, hop_length_m=hop_len)
+    return net, nodes, router
+
+
+class TestMeshRouter:
+    def test_end_to_end_delivery(self):
+        net, nodes, router = mesh_net(hops=3)
+        injected = router.inject(5)
+        assert injected == 5
+        net.run(0.5)
+        assert router.stats.delivered == 5
+        assert router.stats.hop_forwards == 5 * 2  # two intermediate hops
+
+    def test_single_hop_route(self):
+        net, nodes, router = mesh_net(hops=1)
+        router.inject(3)
+        net.run(0.3)
+        assert router.stats.delivered == 3
+        assert router.stats.hop_forwards == 0
+
+    def test_saturated_source_keeps_flowing(self):
+        net, nodes, router = mesh_net(hops=3)
+        router.attach_saturated_source()
+        net.run(1.0)
+        assert router.stats.delivered > 50
+        assert router.stats.goodput_bps(net.sim.now) > 2e5
+
+    def test_route_validation(self):
+        net, nodes, _ = mesh_net(hops=2)
+        with pytest.raises(ValueError):
+            MeshRouter(net, nodes[:1])
+        with pytest.raises(ValueError):
+            MeshRouter(net, [nodes[0], nodes[1], nodes[0]])
+
+    def test_goodput_requires_duration(self):
+        net, nodes, router = mesh_net(hops=2)
+        with pytest.raises(ValueError):
+            router.stats.goodput_bps(0)
+
+    def test_two_flows_do_not_cross_count(self):
+        params = make_testbed_params().with_overrides(data_rate_bps=6_000_000)
+        net = Network(params, mac_kind="dcf", seed=2)
+        a = [net.add_ap(f"A{i}", i * 20.0, 0) for i in range(3)]
+        b = [net.add_ap(f"B{i}", i * 20.0, 80) for i in range(3)]
+        net.finalize()
+        fwd = MeshRouter(net, a)
+        rev = MeshRouter(net, b)
+        fwd.inject(4)
+        rev.inject(2)
+        net.run(0.5)
+        assert fwd.stats.delivered == 4
+        assert rev.stats.delivered == 2
+
+    def test_comap_mesh_at_least_matches_dcf(self):
+        # 8 m hops put links >= 5 hops apart inside each other's CS range
+        # while passing the two-sided eq. (3) test: the geometry where
+        # CO-MAP's spatial pipelining actually has opportunities.
+        goodputs = {}
+        for kind in ("dcf", "comap"):
+            total = 0.0
+            for seed in (1, 2, 3):
+                net, nodes, router = mesh_net(kind=kind, hops=8,
+                                              hop_len=8.0, seed=seed)
+                router.attach_saturated_source()
+                net.run(1.0)
+                total += router.stats.goodput_bps(net.sim.now)
+            goodputs[kind] = total / 3
+        assert goodputs["comap"] > goodputs["dcf"] * 0.95
+
+    def test_build_chain_validation(self):
+        params = make_testbed_params()
+        net = Network(params, seed=0)
+        with pytest.raises(ValueError):
+            build_mesh_chain(net, hop_count=0, hop_length_m=10.0)

@@ -1,0 +1,80 @@
+"""Mobility with threshold-based position re-reporting (Section V)."""
+
+import pytest
+
+from repro.experiments.params import ns2_params
+from repro.net.mobility import LinearMobility
+from repro.net.network import Network
+from repro.util.geometry import Point
+
+
+def make_net(threshold_m=5.0):
+    params = ns2_params()
+    params.comap.position_update_threshold_m = threshold_m
+    net = Network(params, mac_kind="comap", seed=0)
+    ap = net.add_ap("AP", 0, 0)
+    c = net.add_client("C", 10, 0, ap=ap)
+    net.finalize()
+    return net, ap, c
+
+
+class TestLinearMobility:
+    def test_node_reaches_waypoint(self):
+        net, ap, c = make_net()
+        mover = LinearMobility(net, c, [(10, 30)], speed_mps=10.0, tick_s=0.05)
+        net.run(4.0)
+        assert mover.done
+        assert c.position == Point(10, 30)
+
+    def test_distance_accounting(self):
+        net, ap, c = make_net()
+        mover = LinearMobility(net, c, [(10, 30)], speed_mps=10.0, tick_s=0.05)
+        net.run(4.0)
+        assert mover.distance_travelled_m == pytest.approx(30.0, abs=0.01)
+
+    def test_multiple_waypoints(self):
+        net, ap, c = make_net()
+        mover = LinearMobility(net, c, [(20, 0), (20, 10)], speed_mps=20.0, tick_s=0.05)
+        net.run(2.0)
+        assert mover.done
+        assert c.position == Point(20, 10)
+
+    def test_reports_throttled_by_threshold(self):
+        net, ap, c = make_net(threshold_m=5.0)
+        mover = LinearMobility(net, c, [(10, 40)], speed_mps=10.0, tick_s=0.05)
+        net.run(5.0)
+        # 40 m of travel with a 5 m threshold: roughly 8 reports, far
+        # fewer than the 80 movement ticks.
+        assert 4 <= mover.reports_sent <= 10
+
+    def test_tight_threshold_reports_more(self):
+        net_loose, _, c1 = make_net(threshold_m=10.0)
+        loose = LinearMobility(net_loose, c1, [(10, 40)], speed_mps=10.0, tick_s=0.05)
+        net_loose.run(5.0)
+        net_tight, _, c2 = make_net(threshold_m=2.0)
+        tight = LinearMobility(net_tight, c2, [(10, 40)], speed_mps=10.0, tick_s=0.05)
+        net_tight.run(5.0)
+        assert tight.reports_sent > loose.reports_sent
+
+    def test_neighbors_learn_final_position(self):
+        net, ap, c = make_net(threshold_m=2.0)
+        LinearMobility(net, c, [(10, 40)], speed_mps=10.0, tick_s=0.05)
+        net.run(5.0)
+        reported = ap.agent.neighbor_table.position_of(c.node_id)
+        assert reported.distance_to(Point(10, 40)) <= 2.5
+
+    def test_traffic_survives_mobility(self):
+        net, ap, c = make_net()
+        net.add_saturated(c, ap)
+        LinearMobility(net, c, [(15, 10)], speed_mps=5.0, tick_s=0.1)
+        results = net.run(2.0)
+        assert results.goodput_mbps(c.node_id, ap.node_id) > 1.0
+
+    def test_parameter_validation(self):
+        net, ap, c = make_net()
+        with pytest.raises(ValueError):
+            LinearMobility(net, c, [(1, 1)], speed_mps=0.0)
+        with pytest.raises(ValueError):
+            LinearMobility(net, c, [(1, 1)], speed_mps=1.0, tick_s=0.0)
+        with pytest.raises(ValueError):
+            LinearMobility(net, c, [], speed_mps=1.0)

@@ -1,0 +1,65 @@
+"""Node container: association and upper-layer fan-out."""
+
+import pytest
+
+from repro.experiments.params import ns2_params
+from repro.mac.frames import Frame, FrameType
+from repro.net.network import Network
+from repro.phy.rates import OFDM_RATES
+
+
+def make_nodes():
+    net = Network(ns2_params(), seed=0)
+    ap1 = net.add_ap("AP1", 0, 0)
+    ap2 = net.add_ap("AP2", 50, 0)
+    c = net.add_client("C", 10, 0, ap=ap1)
+    return net, ap1, ap2, c
+
+
+class TestAssociation:
+    def test_reassociation_moves_membership(self):
+        net, ap1, ap2, c = make_nodes()
+        assert c in ap1.clients
+        c.associate(ap2)
+        assert c not in ap1.clients
+        assert c in ap2.clients
+        assert c.associated_ap is ap2
+
+    def test_ap_cannot_associate(self):
+        net, ap1, ap2, c = make_nodes()
+        with pytest.raises(ValueError):
+            ap1.associate(ap2)
+
+    def test_repr_mentions_role(self):
+        net, ap1, ap2, c = make_nodes()
+        assert "AP" in repr(ap1)
+        assert "client" in repr(c)
+
+
+class TestFanOut:
+    def test_multiple_delivery_listeners_all_called(self):
+        net, ap1, ap2, c = make_nodes()
+        calls = []
+        ap1.add_delivery_listener(lambda f: calls.append(("a", f.seq)))
+        ap1.add_delivery_listener(lambda f: calls.append(("b", f.seq)))
+        frame = Frame(kind=FrameType.DATA, src=c.node_id, dst=ap1.node_id,
+                      rate=OFDM_RATES.base, payload_bytes=100, seq=7)
+        ap1.mac.on_deliver(frame)
+        assert calls == [("a", 7), ("b", 7)]
+
+    def test_queue_space_listeners_all_called(self):
+        net, ap1, ap2, c = make_nodes()
+        calls = []
+        c.add_queue_space_listener(lambda: calls.append(1))
+        c.add_queue_space_listener(lambda: calls.append(2))
+        c.mac.on_queue_space()
+        assert calls == [1, 2]
+
+    def test_listeners_fire_in_live_run(self):
+        net, ap1, ap2, c = make_nodes()
+        net.finalize()
+        delivered = []
+        ap1.add_delivery_listener(lambda f: delivered.append(f.payload_bytes))
+        c.mac.enqueue(ap1.node_id, 777)
+        net.run(0.05)
+        assert delivered == [777]

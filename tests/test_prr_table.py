@@ -1,0 +1,45 @@
+"""The PRR cache table (Fig. 5)."""
+
+from repro.core.prr_table import PrrEntry, PrrTable
+
+
+class TestPrrEntry:
+    def test_passes_requires_both_directions(self):
+        assert PrrEntry(0.97, 0.96).passes(0.95)
+        assert not PrrEntry(0.97, 0.90).passes(0.95)
+        assert not PrrEntry(0.90, 0.97).passes(0.95)
+
+
+class TestPrrTable:
+    def test_lookup_miss_then_hit(self):
+        table = PrrTable()
+        assert table.lookup(1, 2, 3) is None
+        table.store(1, 2, 3, PrrEntry(0.99, 0.98))
+        entry = table.lookup(1, 2, 3)
+        assert entry.prr_theirs == 0.99
+        assert table.hits == 1 and table.misses == 1
+
+    def test_invalidate_node_removes_involving_entries(self):
+        table = PrrTable()
+        table.store(1, 2, 3, PrrEntry(0.9, 0.9))
+        table.store(4, 5, 6, PrrEntry(0.9, 0.9))
+        removed = table.invalidate_node(2)
+        assert removed == 1
+        assert table.lookup(1, 2, 3) is None
+        assert table.lookup(4, 5, 6) is not None
+
+    def test_invalidate_matches_any_role(self):
+        table = PrrTable()
+        table.store(1, 2, 3, PrrEntry(0.9, 0.9))
+        assert table.invalidate_node(3) == 1
+
+    def test_clear(self):
+        table = PrrTable()
+        table.store(1, 2, 3, PrrEntry(0.9, 0.9))
+        table.clear()
+        assert len(table) == 0
+
+    def test_render(self):
+        table = PrrTable()
+        table.store(1, 2, 3, PrrEntry(0.97, 0.99))
+        assert "1->2" in table.render()

@@ -1,0 +1,171 @@
+"""Radio behaviour: CCA, locking, interference, capture, half-duplex."""
+
+import pytest
+
+from repro.phy.rates import OFDM_RATES
+from repro.util.units import dbm_to_mw
+
+from tests.conftest import build_phy_world
+
+
+class TestCarrierSense:
+    def test_idle_initially(self, phy_pair):
+        assert not phy_pair.radios[1].medium_busy()
+
+    def test_busy_during_nearby_transmission(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        # CCA goes busy only after the air latency (propagation + detect).
+        assert not world.radios[1].medium_busy()
+        world.sim.run(until=world.sim.now + world.channel.air_latency_ns)
+        assert world.radios[1].medium_busy()
+        world.sim.run()
+        assert not world.radios[1].medium_busy()
+
+    def test_far_node_not_busy(self, phy_trio):
+        world = phy_trio
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        # 200 m at alpha 3.3 / 20 dBm is below the -80 dBm threshold.
+        assert not world.radios[2].medium_busy()
+        world.sim.run()
+
+    def test_busy_idle_edges_reported(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert world.macs[1].busy_edges == ["busy", "idle"]
+
+    def test_transmitting_radio_reads_busy(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        assert world.radios[0].medium_busy()
+        world.sim.run()
+
+    def test_energy_dbm_is_noise_floor_when_idle(self, phy_pair):
+        assert phy_pair.radios[0].energy_dbm() == pytest.approx(-95.0)
+
+    def test_energy_sums_concurrent_transmissions(self):
+        world = build_phy_world([(0, 0), (5, 0), (10, 0)])
+        latency = world.channel.air_latency_ns
+        world.radios[0].start_transmission(world.data_frame(0, 2))
+        world.sim.run(until=world.sim.now + latency)
+        e1 = world.radios[1].energy_mw()
+        world.radios[2].start_transmission(world.data_frame(2, 0))
+        world.sim.run(until=world.sim.now + latency)
+        e2 = world.radios[1].energy_mw()
+        assert e2 > e1 > 0
+        world.sim.run()
+
+
+class TestReception:
+    def test_clean_frame_received_with_rssi(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        frame, rssi = world.macs[1].received[0]
+        expected = world.channel.propagation.mean_rx_dbm(20.0, 10.0)
+        assert rssi == pytest.approx(expected, abs=0.1)
+
+    def test_sub_sensitivity_frame_missed(self):
+        # 54 Mbps needs -72 dBm; at 100 m / 20 dBm the power is ~ -106 dBm.
+        world = build_phy_world([(0, 0), (100, 0)])
+        frame = world.data_frame(0, 1, rate=OFDM_RATES.top)
+        world.radios[0].start_transmission(frame)
+        world.sim.run()
+        assert world.macs[1].received == []
+        assert world.radios[1].frames_missed == 1
+
+    def test_interference_corrupts_weak_frame(self):
+        # Receiver in the middle of two equal-power senders.
+        world = build_phy_world([(0, 0), (10, 0), (20, 0)], capture=False)
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.radios[2].start_transmission(world.data_frame(2, 1))
+        world.sim.run()
+        assert world.macs[1].received == []
+        assert world.radios[1].frames_corrupted == 1
+
+    def test_late_interference_still_corrupts(self):
+        # Interference arriving mid-frame counts via max tracking.
+        world = build_phy_world([(0, 0), (10, 0), (20, 0)], capture=False)
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.sim.run(until=world.sim.now + 500_000)  # 0.5 ms into the frame
+        world.radios[2].start_transmission(world.data_frame(2, 1, payload=100))
+        world.sim.run()
+        assert world.macs[1].received == []
+
+    def test_weak_interferer_does_not_corrupt(self, phy_trio):
+        world = phy_trio
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.radios[2].start_transmission(world.data_frame(2, 1, payload=100))
+        world.sim.run()
+        # 200 m interferer is ~40 dB down: 6 Mbps survives easily.
+        assert len(world.macs[1].received) == 1
+
+    def test_receiver_locks_single_frame_at_a_time(self):
+        world = build_phy_world([(0, 0), (10, 0), (11, 0)], capture=False)
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.radios[2].start_transmission(world.data_frame(2, 1))
+        world.sim.run()
+        # First frame locked (then corrupted); second never received.
+        assert world.radios[1].frames_corrupted == 1
+        assert world.macs[1].received == []
+
+
+class TestCapture:
+    def test_stronger_late_frame_captures(self):
+        # Weak frame from 60 m locks first; strong frame from 5 m must win.
+        world = build_phy_world([(60, 0), (0, 0), (5, 0)])
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.radios[2].start_transmission(world.data_frame(2, 1, payload=200))
+        world.sim.run()
+        received = [f.src for f, _ in world.macs[1].received]
+        assert received == [2]
+        assert world.radios[1].frames_missed == 1  # the trampled weak frame
+
+    def test_capture_disabled_keeps_first_lock(self):
+        world = build_phy_world([(60, 0), (0, 0), (5, 0)], capture=False)
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.radios[2].start_transmission(world.data_frame(2, 1, payload=200))
+        world.sim.run()
+        assert [f.src for f, _ in world.macs[1].received] != [2]
+
+    def test_comparable_late_frame_does_not_capture(self):
+        # Equal powers: the newcomer cannot clear the SIR bar.
+        world = build_phy_world([(10, 0), (0, 0), (-10, 0)])
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1000))
+        world.radios[2].start_transmission(world.data_frame(2, 1, payload=200))
+        world.sim.run()
+        assert world.macs[1].received == []
+
+
+class TestHalfDuplex:
+    def test_cannot_transmit_twice(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        with pytest.raises(RuntimeError):
+            world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+
+    def test_transmitting_radio_misses_incoming(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.radios[1].start_transmission(world.data_frame(1, 0, payload=100))
+        world.sim.run()
+        # Radio 1 was transmitting when frame 0 arrived: never received it.
+        assert all(f.src != 0 for f, _ in world.macs[1].received)
+
+    def test_starting_tx_aborts_reception(self, phy_pair):
+        world = phy_pair
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.sim.run(until=100_000)
+        world.radios[1].start_transmission(world.data_frame(1, 0, payload=100))
+        missed_before = world.radios[1].frames_missed
+        world.sim.run()
+        assert missed_before == 1  # the aborted lock counted as missed
+        assert world.macs[1].received == []
+
+    def test_move_to_updates_position(self, phy_pair):
+        from repro.util.geometry import Point
+
+        phy_pair.radios[0].move_to(Point(50, 50))
+        assert phy_pair.radios[0].position == Point(50, 50)

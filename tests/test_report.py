@@ -1,0 +1,37 @@
+"""The one-shot report generator."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments.report import generate, markdown_table
+
+
+class TestMarkdownTable:
+    def test_shape(self):
+        lines = markdown_table(["a", "b"], [(1, 2.5), ("x", "y")])
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.500" in lines[2]
+        assert len(lines) == 4
+
+
+@pytest.mark.slow
+class TestGenerate:
+    def test_quick_report_writes_artifacts(self, tmp_path):
+        out = str(tmp_path / "results")
+        path = generate(out, scale="quick", seed=0)
+        assert os.path.exists(path)
+        text = open(path).read()
+        for fig in ("Figs. 1 & 8", "Fig. 2", "Fig. 6", "Fig. 7", "Fig. 9",
+                    "Fig. 10", "Table I"):
+            assert fig in text
+        csvs = [f for f in os.listdir(out) if f.endswith(".csv")]
+        assert len(csvs) == 5
+        # Every CSV parses and has a header plus data rows.
+        for name in csvs:
+            with open(os.path.join(out, name)) as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 3
+            assert all(len(r) == len(rows[0]) for r in rows)

@@ -1,0 +1,65 @@
+"""The trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_disabled_category_records_nothing(self):
+        trace = TraceRecorder()
+        trace.record("mac", "tx", node=1)
+        assert len(trace) == 0
+
+    def test_enabled_category_records(self):
+        trace = TraceRecorder(["mac"])
+        trace.record("mac", "tx", node=1)
+        assert len(trace) == 1
+
+    def test_enable_after_construction(self):
+        trace = TraceRecorder()
+        trace.enable("phy")
+        trace.record("phy", "rx")
+        assert len(trace) == 1
+
+    def test_wants_guard(self):
+        trace = TraceRecorder(["a"])
+        assert trace.wants("a")
+        assert not trace.wants("b")
+
+    def test_clock_binding(self):
+        trace = TraceRecorder(["x"])
+        now = {"t": 0}
+        trace.bind_clock(lambda: now["t"])
+        now["t"] = 42
+        trace.record("x", "evt")
+        assert trace.events()[0].time == 42
+
+    def test_filtering_by_category_and_name(self):
+        trace = TraceRecorder(["a", "b"])
+        trace.record("a", "one")
+        trace.record("a", "two")
+        trace.record("b", "one")
+        assert len(trace.events("a")) == 2
+        assert len(trace.events(category="a", name="one")) == 1
+        assert len(trace.events(name="one")) == 2
+
+    def test_detail_lookup(self):
+        trace = TraceRecorder(["a"])
+        trace.record("a", "evt", node=7, frame="data")
+        event = trace.events()[0]
+        assert event.get("node") == 7
+        assert event.get("missing", "default") == "default"
+
+    def test_counts_histogram(self):
+        trace = TraceRecorder(["a"])
+        trace.record("a", "x")
+        trace.record("a", "x")
+        trace.record("a", "y")
+        assert trace.counts() == {"a/x": 2, "a/y": 1}
+
+    def test_empty_recorder_is_falsy_but_usable(self):
+        # Regression guard: constructors must not use "trace or default()"
+        # because an empty recorder has len() == 0.
+        trace = TraceRecorder(["a"])
+        assert not trace  # empty -> falsy
+        trace.record("a", "x")
+        assert trace

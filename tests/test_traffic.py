@@ -1,0 +1,126 @@
+"""Traffic sources: saturated, CBR, TCP-lite."""
+
+import pytest
+
+from repro.experiments.params import ns2_params
+from repro.net.network import Network
+
+
+def make_net(mac_kind="dcf", seed=0):
+    net = Network(ns2_params(), mac_kind=mac_kind, seed=seed)
+    ap = net.add_ap("AP", 0, 0)
+    c = net.add_client("C", 10, 0, ap=ap)
+    net.finalize()
+    return net, ap, c
+
+
+class TestSaturatedSource:
+    def test_keeps_queue_topped(self):
+        net, ap, c = make_net()
+        source = net.add_saturated(c, ap)
+        net.run(0.2)
+        assert source.packets_offered > 10
+        # The MAC never ran dry mid-run: deliveries track offered closely.
+        delivered = net.results().flows[(c.node_id, ap.node_id)].delivered_packets
+        assert delivered >= source.packets_offered - c.mac.queue_length - 2
+
+    def test_respects_explicit_payload(self):
+        net, ap, c = make_net()
+        net.add_saturated(c, ap, payload_bytes=300)
+        results = net.run(0.1)
+        flow = results.flows[(c.node_id, ap.node_id)]
+        assert flow.delivered_bytes == 300 * flow.delivered_packets
+
+    def test_depth_validation(self):
+        from repro.net.traffic import SaturatedSource
+
+        net, ap, c = make_net()
+        with pytest.raises(ValueError):
+            SaturatedSource(net.sim, c, ap, depth=0)
+
+
+class TestCbrSource:
+    def test_rate_respected_on_clean_channel(self):
+        net, ap, c = make_net()
+        net.add_cbr(c, ap, rate_bps=1_000_000, payload_bytes=1000)
+        results = net.run(0.5)
+        assert results.goodput_mbps(c.node_id, ap.node_id) == pytest.approx(1.0, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        net, ap, c = make_net()
+        with pytest.raises(ValueError):
+            net.add_cbr(c, ap, rate_bps=0.0)
+
+    def test_start_offset_delays_traffic(self):
+        net, ap, c = make_net()
+        source = net.add_cbr(c, ap, rate_bps=1_000_000, start_ns=200_000_000)
+        net.run(0.1)
+        assert source.packets_offered == 0
+        net.run(0.2)
+        assert source.packets_offered > 0
+
+    def test_broadcast_mode(self):
+        net, ap, c = make_net()
+        source = net.add_cbr(c, None, rate_bps=500_000, payload_bytes=500)
+        net.run(0.2)
+        assert source.packets_offered > 5
+        # Broadcasts need no ACKs and are never retried.
+        assert c.mac.stats.retransmissions == 0
+        assert c.mac.stats.successes >= source.packets_offered - c.mac.queue_length - 1
+
+    def test_overload_counts_drops(self):
+        net, ap, c = make_net()
+        source = net.add_cbr(c, ap, rate_bps=30_000_000, payload_bytes=1000)
+        net.run(0.3)
+        assert source.packets_dropped > 0
+
+
+class TestTcpLite:
+    def test_reliable_delivery_on_clean_channel(self):
+        net, ap, c = make_net()
+        flow = net.add_tcp(c, ap)
+        net.run(0.5)
+        assert flow.delivered_segments > 20
+        assert flow.delivered_bytes == flow.delivered_segments * 1000
+
+    def test_goodput_helper(self):
+        net, ap, c = make_net()
+        flow = net.add_tcp(c, ap)
+        results = net.run(0.5)
+        assert flow.goodput_bps(results.duration_ns) > 1e6
+
+    def test_window_limits_outstanding(self):
+        net, ap, c = make_net()
+        flow = net.add_tcp(c, ap, window=4)
+        net.run(0.5)
+        # Sender never runs ahead of the receiver by more than the window.
+        assert flow._next_seq - flow._rcv_next <= 4 + 1
+
+    def test_transport_acks_flow_back(self):
+        net, ap, c = make_net()
+        net.add_tcp(c, ap)
+        results = net.run(0.3)
+        # The reverse direction carried 40-byte transport ACKs.
+        reverse = results.flows.get((ap.node_id, c.node_id))
+        assert reverse is not None
+        assert reverse.delivered_bytes >= 40 * 10
+
+    def test_retransmission_on_loss(self):
+        # A hidden jammer forces segment losses; TCP-lite must recover.
+        net = Network(ns2_params().with_overrides(cs_threshold_dbm=-55.0), seed=3)
+        ap = net.add_ap("AP", 0, 0)
+        c = net.add_client("C", 10, 0, ap=ap)
+        jam = net.add_client("J", 12, 0, cs_threshold_dbm=40.0)
+        net.finalize()
+        flow = net.add_tcp(c, ap)
+        net.add_cbr(jam, None, rate_bps=4_000_000, payload_bytes=1400)
+        net.run(1.5)
+        assert flow.retransmissions > 0
+        assert flow.delivered_segments > 0
+        # In-order delivery invariant: bytes match segments exactly.
+        assert flow.delivered_bytes == flow.delivered_segments * 1000
+
+    def test_invalid_window_rejected(self):
+        net, ap, c = make_net()
+        with pytest.raises(ValueError):
+            net.add_tcp(c, ap, window=0)
