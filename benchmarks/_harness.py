@@ -10,12 +10,33 @@ The pytest-benchmark fixture wraps exactly one execution
 (``pedantic(rounds=1)``) — these are regeneration harnesses, not
 micro-benchmarks; the timing it records is the experiment's wall-clock
 cost.
+
+All sweeps flow through the parallel executor in
+:mod:`repro.experiments.parallel`: the ``run_*`` runners decompose into
+tasks internally, and benches with bespoke loops fan out via
+:func:`sweep` below.  ``REPRO_JOBS=N`` parallelises any bench without
+changing a single printed number (results are bit-identical to serial);
+``REPRO_CACHE=1`` memoizes completed sweep points on disk.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, List, Sequence
+
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepTask,
+    derive_seed,
+    resolve_jobs,
+    run_tasks,
+)
+
+__all__ = [
+    "banner", "full_scale", "paper_vs_measured", "run_once", "sweep",
+    "table", "SweepTask", "ResultCache", "derive_seed", "resolve_jobs",
+    "run_tasks",
+]
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):
@@ -28,10 +49,28 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def sweep(fn: Callable, grid: Iterable[dict], label: str = "bench") -> List:
+    """Fan a bench's bespoke loop out through the parallel executor.
+
+    ``fn`` must be a module-level callable; ``grid`` yields one kwargs
+    dict per simulation.  Results come back in grid order, honouring
+    ``REPRO_JOBS``/``REPRO_CACHE`` exactly like the ``run_*`` runners.
+    """
+    tasks = [
+        SweepTask(fn=fn, kwargs=kwargs, key=(label, index))
+        for index, kwargs in enumerate(grid)
+    ]
+    return run_tasks(tasks, label=label)
+
+
 def banner(title: str) -> None:
     print()
     print("=" * 72)
     print(title)
+    jobs = resolve_jobs()
+    cache = "on" if os.environ.get("REPRO_CACHE", "0") == "1" else "off"
+    scale = "full" if full_scale() else "default"
+    print(f"[executor: jobs={jobs} cache={cache} scale={scale}]")
     print("=" * 72)
 
 

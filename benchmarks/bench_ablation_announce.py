@@ -12,13 +12,14 @@ and under Minstrel rate adaptation.
 from repro.experiments.params import testbed_params
 from repro.experiments.topologies import exposed_terminal_topology
 
-from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, sweep, table
 
 MODES = (
     ("embedded", {"announce_mode": "embedded"}),
     ("separate", {"announce_mode": "separate"}),
     ("none", {"announce_headers": False, "persistent_exposure": False}),
 )
+SEEDS = (1, 2, 3)
 
 
 def _aggregate(params, overrides, seed, duration):
@@ -34,17 +35,25 @@ def _aggregate(params, overrides, seed, duration):
 
 def regenerate():
     duration = 2.0 if full_scale() else 1.0
-    fixed = testbed_params().with_overrides(data_rate_bps=6_000_000)
-    adaptive = testbed_params()
-    out = {}
-    for label, overrides in MODES:
-        out[(label, "6 Mbps fixed")] = sum(
-            _aggregate(fixed, overrides, seed, duration) for seed in (1, 2, 3)
-        ) / 3
-        out[(label, "Minstrel")] = sum(
-            _aggregate(adaptive, overrides, seed, duration) for seed in (1, 2, 3)
-        ) / 3
-    return out
+    rate_params = (
+        ("6 Mbps fixed", testbed_params().with_overrides(data_rate_bps=6_000_000)),
+        ("Minstrel", testbed_params()),
+    )
+    cells = [
+        (label, rate_label)
+        for label, _ in MODES
+        for rate_label, _ in rate_params
+    ]
+    grid = [
+        dict(params=params, overrides=overrides, seed=seed, duration=duration)
+        for _, overrides in MODES
+        for _, params in rate_params
+        for seed in SEEDS
+    ]
+    results = iter(sweep(_aggregate, grid, label="ablation_announce"))
+    return {
+        cell: sum(next(results) for _ in SEEDS) / len(SEEDS) for cell in cells
+    }
 
 
 def test_ablation_announce_mode(benchmark):

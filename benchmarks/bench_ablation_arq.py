@@ -10,26 +10,40 @@ frame whose own ACK was lost.
 from repro.experiments.metrics import comap_counters
 from repro.experiments.topologies import exposed_terminal_topology
 
-from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, sweep, table
+
+SEEDS = (1, 2, 3)
+VARIANTS = (("sr-arq", None), ("stop-and-wait", {"sr_window": 1}))
+
+
+def _arq_outcome(overrides, seed, duration):
+    scenario = exposed_terminal_topology("comap", c2_x=30.0, seed=seed)
+    if overrides:
+        for node in scenario.network.nodes.values():
+            for key, value in overrides.items():
+                setattr(node.mac.config, key, value)
+    results = scenario.network.run(duration)
+    c2, ap2 = scenario.extra["c2"], scenario.extra["ap2"]
+    goodput = (results.goodput_mbps(*scenario.tagged_flow)
+               + results.goodput_mbps(c2.node_id, ap2.node_id))
+    return goodput, comap_counters(scenario.network)
 
 
 def regenerate():
     duration = 2.0 if full_scale() else 1.0
+    grid = [
+        dict(overrides=overrides, seed=seed, duration=duration)
+        for _, overrides in VARIANTS
+        for seed in SEEDS
+    ]
+    results = iter(sweep(_arq_outcome, grid, label="ablation_arq"))
     outcomes = {}
-    for label, overrides in (("sr-arq", None), ("stop-and-wait", {"sr_window": 1})):
+    for label, _ in VARIANTS:
         total, counters = 0.0, {}
-        for seed in (1, 2, 3):
-            scenario = exposed_terminal_topology("comap", c2_x=30.0, seed=seed)
-            if overrides:
-                for node in scenario.network.nodes.values():
-                    for key, value in overrides.items():
-                        setattr(node.mac.config, key, value)
-            results = scenario.network.run(duration)
-            c2, ap2 = scenario.extra["c2"], scenario.extra["ap2"]
-            total += results.goodput_mbps(*scenario.tagged_flow)
-            total += results.goodput_mbps(c2.node_id, ap2.node_id)
-            counters = comap_counters(scenario.network)
-        outcomes[label] = (total / 3, counters)
+        for _ in SEEDS:
+            goodput, counters = next(results)
+            total += goodput
+        outcomes[label] = (total / len(SEEDS), counters)
     return outcomes
 
 

@@ -16,7 +16,7 @@ from repro.experiments.params import testbed_params
 from repro.experiments.topologies import exposed_terminal_topology
 from repro.util.geometry import Point
 
-from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, sweep, table
 
 
 def _aggregate(results, scenario, baseline=None):
@@ -30,23 +30,28 @@ def _aggregate(results, scenario, baseline=None):
     return total
 
 
-def regenerate():
-    duration = 2.0 if full_scale() else 1.0
+def _two_phase_goodputs(kind: str, duration: float):
+    """Safe-phase and post-move goodput for one MAC variant."""
     # Fixed 12 Mbps keeps the comparison about *map construction*, not
     # rate adaptation (the learned map has no notion of rates).
     params = testbed_params().with_overrides(data_rate_bps=12_000_000)
-    out = {}
-    for kind in ("dcf", "cmap", "comap"):
-        scenario = exposed_terminal_topology(kind, c2_x=30.0, seed=1, params=params)
-        net = scenario.network
-        phase1 = net.run(duration)
-        g1 = _aggregate(phase1, scenario) / duration
-        snapshot = {f: fl.delivered_bytes for f, fl in phase1.flows.items()}
-        net.update_node_position(scenario.extra["c2"], Point(16.0, 0.0))
-        phase2 = net.run(duration)
-        g2 = _aggregate(phase2, scenario, baseline=snapshot) / duration
-        out[kind] = (g1, g2)
-    return out
+    scenario = exposed_terminal_topology(kind, c2_x=30.0, seed=1, params=params)
+    net = scenario.network
+    phase1 = net.run(duration)
+    g1 = _aggregate(phase1, scenario) / duration
+    snapshot = {f: fl.delivered_bytes for f, fl in phase1.flows.items()}
+    net.update_node_position(scenario.extra["c2"], Point(16.0, 0.0))
+    phase2 = net.run(duration)
+    g2 = _aggregate(phase2, scenario, baseline=snapshot) / duration
+    return g1, g2
+
+
+def regenerate():
+    duration = 2.0 if full_scale() else 1.0
+    kinds = ("dcf", "cmap", "comap")
+    grid = [dict(kind=kind, duration=duration) for kind in kinds]
+    results = sweep(_two_phase_goodputs, grid, label="baseline_cmap")
+    return {kind: tuple(goodputs) for kind, goodputs in zip(kinds, results)}
 
 
 def test_baseline_cmap_mobility(benchmark):

@@ -13,7 +13,9 @@ the paper's own scenarios:
 
 from repro.experiments.topologies import exposed_terminal_topology, hidden_terminal_topology
 
-from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, table
+from benchmarks._harness import banner, full_scale, paper_vs_measured, run_once, sweep, table
+
+SEEDS = (1, 2, 3)
 
 
 def _set_rts(network, enabled: bool) -> None:
@@ -50,28 +52,39 @@ def _ht_scenario_cbr(seed: int):
     return net, (c1.node_id, ap1.node_id)
 
 
+def _ht_goodput(rts: bool, seed: int, duration: float) -> float:
+    net, tagged = _ht_scenario_cbr(seed)
+    _set_rts(net, rts)
+    results = net.run(duration)
+    return results.goodput_mbps(*tagged)
+
+
+def _et_goodput(rts: bool, seed: int, duration: float) -> float:
+    scenario = exposed_terminal_topology("dcf", c2_x=30.0, seed=seed)
+    _set_rts(scenario.network, rts)
+    results = scenario.network.run(duration)
+    c2, ap2 = scenario.extra["c2"], scenario.extra["ap2"]
+    return (results.goodput_mbps(*scenario.tagged_flow)
+            + results.goodput_mbps(c2.node_id, ap2.node_id))
+
+
 def regenerate():
     duration = 3.0 if full_scale() else 1.5
-    out = {}
-    for rts in (False, True):
-        total = 0.0
-        for seed in (1, 2, 3):
-            net, tagged = _ht_scenario_cbr(seed)
-            _set_rts(net, rts)
-            results = net.run(duration)
-            total += results.goodput_mbps(*tagged)
-        out[("ht", rts)] = total / 3
-    for rts in (False, True):
-        total = 0.0
-        for seed in (1, 2, 3):
-            scenario = exposed_terminal_topology("dcf", c2_x=30.0, seed=seed)
-            _set_rts(scenario.network, rts)
-            results = scenario.network.run(duration)
-            c2, ap2 = scenario.extra["c2"], scenario.extra["ap2"]
-            total += results.goodput_mbps(*scenario.tagged_flow)
-            total += results.goodput_mbps(c2.node_id, ap2.node_id)
-        out[("et", rts)] = total / 3
-    return out
+    cells = [(kind, rts) for kind in ("ht", "et") for rts in (False, True)]
+    grid = [
+        dict(fn_kind=kind, rts=rts, seed=seed, duration=duration)
+        for kind, rts in cells
+        for seed in SEEDS
+    ]
+    results = iter(sweep(_rts_cell_goodput, grid, label="rts_cts_baseline"))
+    return {
+        cell: sum(next(results) for _ in SEEDS) / len(SEEDS) for cell in cells
+    }
+
+
+def _rts_cell_goodput(fn_kind: str, rts: bool, seed: int, duration: float) -> float:
+    body = _ht_goodput if fn_kind == "ht" else _et_goodput
+    return body(rts, seed, duration)
 
 
 def test_rts_cts_baseline(benchmark):

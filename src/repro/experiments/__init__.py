@@ -30,6 +30,13 @@ from repro.experiments.runner import (
     run_multi_et,
     run_rival_et,
 )
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepTask,
+    derive_seed,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.experiments.metrics import flow_goodputs_mbps, link_goodput_mbps
 from repro.experiments.inspect import InterferenceSurvey, survey_network
 
@@ -53,6 +60,11 @@ __all__ = [
     "run_office_floor",
     "run_multi_et",
     "run_rival_et",
+    "ResultCache",
+    "SweepTask",
+    "derive_seed",
+    "resolve_jobs",
+    "run_tasks",
     "flow_goodputs_mbps",
     "link_goodput_mbps",
     "InterferenceSurvey",

@@ -1,0 +1,368 @@
+"""Parallel sweep execution with deterministic seed streams.
+
+Every ``run_*`` function in :mod:`repro.experiments.runner` decomposes its
+sweep into independent :class:`SweepTask` records and hands them to
+:func:`run_tasks`.  Three properties make the decomposition safe:
+
+* **Deterministic seed streams.**  Each task's RNG seed comes from
+  :func:`derive_seed`, a ``spawn_key``-style derivation that hashes
+  ``(base_seed, *task_key)`` through SHA-256.  Seeds therefore depend only
+  on the task's *identity* (its grid coordinates), never on execution
+  order, worker count, or platform ``hash()`` randomization — so a sweep
+  is bit-identical whether it runs serially, on 4 workers, or resumes
+  from a warm cache.
+* **Process isolation.**  Tasks run under
+  :class:`concurrent.futures.ProcessPoolExecutor` (``REPRO_JOBS`` env
+  knob, explicit ``jobs=`` argument wins).  The simulator is
+  bit-reproducible *per process*; separate processes per task mean no
+  shared mutable state can leak between sweep points.  ``jobs=1`` — the
+  default — bypasses the pool entirely, and any pickling failure degrades
+  gracefully to the same serial path.
+* **Content-keyed memoization.**  An optional on-disk
+  :class:`ResultCache` stores each task's result under a stable SHA-256
+  fingerprint of the task's callable and its full keyword set (scenario
+  parameters, topology arguments, seed, duration).  Changing *any* field
+  of :class:`~repro.experiments.params.ScenarioParams` changes the
+  fingerprint, so stale hits are impossible; corrupted cache files are
+  treated as misses.
+
+Per-task progress and wall-clock timings are recorded into the process
+global :func:`repro.sim.trace.global_recorder` under the ``sweep``
+category (enable with ``REPRO_TRACE_SWEEP=1`` or
+``global_recorder().enable("sweep")``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import global_recorder
+
+#: Environment knob: worker-process count for sweep execution.
+JOBS_ENV = "REPRO_JOBS"
+#: Environment knob: enable the on-disk result cache ("1" to enable).
+CACHE_ENV = "REPRO_CACHE"
+#: Environment knob: override the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment knob: record sweep progress into the global trace recorder.
+TRACE_ENV = "REPRO_TRACE_SWEEP"
+
+#: Bump when the cache payload format (not the keyed content) changes.
+CACHE_VERSION = 1
+
+_SEED_BITS = 63
+
+
+# ----------------------------------------------------------------------
+# Seed streams
+# ----------------------------------------------------------------------
+def derive_seed(base_seed: int, *key: Any) -> int:
+    """A collision-free task seed from ``(base_seed, *key)``.
+
+    The key tuple is canonically encoded and hashed with SHA-256, then
+    folded to a non-negative 63-bit integer.  Unlike ``hash()`` this is
+    stable across processes, platforms, and Python versions, and unlike
+    arithmetic schemes (``seed + 1000 * rep``) distinct keys cannot
+    collide for any realistic grid size (a collision needs ~2^31 tasks).
+    """
+    payload = _canonical((int(base_seed),) + tuple(key))
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") & ((1 << _SEED_BITS) - 1)
+
+
+def _canonical(value: Any) -> bytes:
+    """A byte encoding of ``value`` that is stable across runs/platforms."""
+    return _canon_str(value).encode("utf-8")
+
+
+def _canon_str(value: Any) -> str:
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return f"b:{value}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        # repr() is the shortest round-trip form — identical on every
+        # IEEE-754 platform supported by CPython >= 3.1.
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{len(value)}:{value}"
+    if value is None:
+        return "n"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canon_str(v) for v in value)
+        return f"t:[{inner}]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canon_str(k)}={_canon_str(v)}" for k, v in sorted(value.items())
+        )
+        return f"d:{{{inner}}}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return f"dc:{type(value).__qualname__}:{_canon_str(body)}"
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__", repr(value))
+        return f"fn:{module}.{name}"
+    if hasattr(value, "__dict__"):
+        # Plain config objects (e.g. error models, RateTable): class name
+        # plus instance attributes.
+        return f"obj:{type(value).__qualname__}:{_canon_str(vars(value))}"
+    raise TypeError(
+        f"cannot canonically encode {type(value).__qualname__!r} for "
+        f"seed/cache derivation"
+    )
+
+
+# ----------------------------------------------------------------------
+# Tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of a sweep.
+
+    ``fn`` must be a module-level callable (so it pickles by reference)
+    and must depend only on ``kwargs`` — no closures, no globals — so the
+    result is a pure function of the task record.  ``key`` is the task's
+    human-readable grid identity, used for tracing and regrouping.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    key: Tuple = ()
+
+    def fingerprint(self) -> str:
+        """Stable content hash: callable identity + full keyword set."""
+        blob = _canonical((f"v{CACHE_VERSION}", self.fn, self.kwargs))
+        return hashlib.sha256(blob).hexdigest()
+
+    def execute(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def _execute_indexed(task: SweepTask) -> Tuple[Any, float]:
+    """Worker entry point: run one task, returning (result, elapsed_s)."""
+    started = time.perf_counter()
+    result = task.execute()
+    return result, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed on-disk memo of completed sweep tasks.
+
+    One JSON file per task, named by the task fingerprint.  Values must
+    be JSON-round-trippable (the runners return floats and lists of
+    floats; JSON round-trips floats exactly).  Any unreadable, corrupt,
+    or wrong-version file is a miss — a broken cache can cost recompute
+    time but can never crash or corrupt a sweep.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; every failure mode is a miss."""
+        try:
+            with open(self.path_for(digest), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+                or payload.get("key") != digest
+                or "result" not in payload
+            ):
+                raise ValueError("malformed cache payload")
+        except (OSError, ValueError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, payload["result"]
+
+    def put(self, digest: str, value: Any) -> None:
+        """Store a result; write atomically, swallow storage failures."""
+        try:
+            payload = json.dumps(
+                {"version": CACHE_VERSION, "key": digest, "result": value}
+            )
+        except (TypeError, ValueError):
+            return  # non-JSON result: simply don't memoize it
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self.path_for(digest))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return  # read-only/full disk: caching is best-effort
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "sweeps")
+
+
+def _env_cache() -> Optional[ResultCache]:
+    if os.environ.get(CACHE_ENV, "0") == "1":
+        return ResultCache()
+    return None
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "")
+        try:
+            jobs = int(env) if env else 1
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _sweep_trace():
+    recorder = global_recorder()
+    if os.environ.get(TRACE_ENV, "0") == "1":
+        recorder.enable("sweep")
+    return recorder
+
+
+def run_tasks(
+    tasks: Sequence[SweepTask],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    label: str = "sweep",
+) -> List[Any]:
+    """Execute ``tasks`` and return their results in task order.
+
+    Results are a pure function of each task record, so the output is
+    bit-identical for every ``jobs`` value.  ``cache=None`` consults
+    ``$REPRO_CACHE`` (off by default); a provided :class:`ResultCache`
+    is always used.
+    """
+    tasks = list(tasks)
+    trace = _sweep_trace()
+    if cache is None:
+        cache = _env_cache()
+    jobs = resolve_jobs(jobs)
+    trace.record(
+        "sweep", "start", label=label, tasks=len(tasks), jobs=jobs,
+        cached=cache is not None,
+    )
+
+    results: List[Any] = [None] * len(tasks)
+    pending: List[int] = []
+    digests: Dict[int, str] = {}
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            digest = task.fingerprint()
+            digests[index] = digest
+            hit, value = cache.get(digest)
+            if hit:
+                results[index] = value
+                trace.record("sweep", "cache_hit", label=label, key=task.key)
+                continue
+        pending.append(index)
+
+    completed = _run_pending(tasks, pending, jobs, label, trace)
+    for index, (value, elapsed) in completed.items():
+        results[index] = value
+        if cache is not None:
+            cache.put(digests[index], value)
+        trace.record(
+            "sweep", "task_done", label=label, key=tasks[index].key,
+            elapsed_s=elapsed,
+        )
+    trace.record("sweep", "done", label=label, tasks=len(tasks))
+    return results
+
+
+def _run_pending(
+    tasks: Sequence[SweepTask],
+    pending: List[int],
+    jobs: int,
+    label: str,
+    trace,
+) -> Dict[int, Tuple[Any, float]]:
+    """Run the not-yet-cached tasks, parallel when possible."""
+    if not pending:
+        return {}
+    if jobs > 1 and len(pending) > 1 and _picklable(tasks[pending[0]]):
+        try:
+            return _run_parallel(tasks, pending, jobs)
+        except (pickle.PicklingError, AttributeError, TypeError, OSError) as exc:
+            # Unpicklable mid-batch task, missing fork support, dead
+            # worker... — the sweep must finish either way.
+            trace.record(
+                "sweep", "serial_fallback", label=label,
+                reason=f"{type(exc).__name__}: {exc}",
+            )
+    return {index: _execute_indexed(tasks[index]) for index in pending}
+
+
+def _picklable(task: SweepTask) -> bool:
+    try:
+        pickle.dumps(task)
+        return True
+    except Exception:
+        return False
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask], pending: List[int], jobs: int
+) -> Dict[int, Tuple[Any, float]]:
+    workers = min(jobs, len(pending))
+    # ~4 chunks per worker balances dispatch overhead against stragglers.
+    chunksize = max(1, len(pending) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(
+            pool.map(
+                _execute_indexed,
+                [tasks[index] for index in pending],
+                chunksize=chunksize,
+            )
+        )
+    return dict(zip(pending, outcomes))

@@ -4,6 +4,27 @@ Each ``run_*`` function regenerates the data series behind one figure of
 the paper's evaluation and returns plain Python structures (lists of
 rows) that the benches print and assert on.  Durations and repetition
 counts are parameters so tests can run scaled-down versions quickly.
+
+Execution model
+---------------
+
+Every runner decomposes its sweep into independent
+:class:`~repro.experiments.parallel.SweepTask` records — one per
+simulation — and executes them through
+:func:`~repro.experiments.parallel.run_tasks`.  Task seeds come from
+:func:`~repro.experiments.parallel.derive_seed` over the task's grid
+coordinates, so results are a pure function of the task grid: serial
+(``jobs=1``, the default), multi-process (``jobs=N`` or ``REPRO_JOBS=N``)
+and cache-replayed runs are bit-identical
+(``tests/test_parallel_equivalence.py`` enforces this).
+
+Two seeding conventions, chosen per runner and kept deliberately:
+
+* Sweeps over an x-axis grid derive one seed per ``(x, mac, rep)`` cell.
+* Paired comparisons (office floor variants, the multi-ET/rival-ET
+  ablations) share one channel seed across the compared variants on each
+  topology, mirroring the paper's paired measurement and keeping the
+  comparisons low-variance.
 """
 
 from __future__ import annotations
@@ -14,10 +35,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analytical.bianchi import BianchiSlotModel
 from repro.analytical.ht_model import HtGoodputModel
 from repro.experiments.metrics import average_link_goodput_mbps
+from repro.experiments.parallel import ResultCache, SweepTask, derive_seed, run_tasks
 from repro.experiments.params import ScenarioParams, ht_params
 from repro.experiments.topologies import (
     exposed_terminal_topology,
     fig9_configurations,
+    hidden_terminal_topology,
     ht_adaptation_topology,
     model_validation_topology,
     multi_et_topology,
@@ -35,6 +58,123 @@ class SweepPoint:
     goodput_mbps: Dict[str, float]
 
 
+# ----------------------------------------------------------------------
+# Task bodies — module-level so tasks pickle by reference into workers.
+# Each must be a pure function of its keyword arguments.
+# ----------------------------------------------------------------------
+def _exposed_goodput(
+    mac_kind: str,
+    c2_x: float,
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+    error_model: Optional[PositionErrorModel],
+) -> float:
+    scenario = exposed_terminal_topology(
+        mac_kind, c2_x=c2_x, seed=seed, params=params, error_model=error_model
+    )
+    return scenario.run_goodput_mbps(duration_s)
+
+
+def _hidden_goodput(
+    mac_kind: str,
+    payload_bytes: int,
+    n_ht: int,
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+) -> float:
+    scenario = hidden_terminal_topology(
+        mac_kind, payload_bytes=payload_bytes, n_ht=n_ht, seed=seed, params=params
+    )
+    return scenario.run_goodput_mbps(duration_s)
+
+
+def _model_validation_goodput(
+    window: int,
+    payload_bytes: int,
+    hidden: int,
+    contenders: int,
+    seed: int,
+    duration_s: float,
+) -> float:
+    scenario = model_validation_topology(
+        window=window,
+        payload_bytes=payload_bytes,
+        hidden=hidden,
+        contenders=contenders,
+        seed=seed,
+    )
+    return scenario.run_goodput_mbps(duration_s)
+
+
+def _ht_adaptation_goodput(
+    mac_kind: str,
+    slots: Tuple[int, ...],
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+) -> float:
+    scenario = ht_adaptation_topology(
+        mac_kind, slots=tuple(slots), seed=seed, params=params
+    )
+    return scenario.run_goodput_mbps(duration_s)
+
+
+def _office_floor_goodput(
+    mac_kind: str,
+    topology_seed: int,
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+    error_model: Optional[PositionErrorModel],
+) -> float:
+    scenario = office_floor_topology(
+        mac_kind,
+        topology_seed=topology_seed,
+        seed=seed,
+        params=params,
+        error_model=error_model,
+    )
+    results = scenario.network.run(duration_s)
+    return average_link_goodput_mbps(results, scenario.extra["flows"])
+
+
+def _multi_et_goodput(
+    mac_kind: str,
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+    enhanced_scheduler: bool,
+) -> float:
+    scenario = multi_et_topology(
+        mac_kind, seed=seed, params=params, enhanced_scheduler=enhanced_scheduler
+    )
+    results = scenario.network.run(duration_s)
+    return results.aggregate_goodput_bps / 1e6
+
+
+def _rival_et_goodput(
+    mac_kind: str,
+    seed: int,
+    duration_s: float,
+    params: Optional[ScenarioParams],
+    enhanced_scheduler: bool,
+) -> float:
+    scenario = rival_et_topology(
+        mac_kind, seed=seed, params=params, enhanced_scheduler=enhanced_scheduler
+    )
+    results = scenario.network.run(duration_s)
+    e1, e2 = scenario.extra["e1"], scenario.extra["e2"]
+    ap1 = scenario.extra["ap1"]
+    return results.goodput_mbps(e1.node_id, ap1.node_id) + results.goodput_mbps(
+        e2.node_id, ap1.node_id
+    )
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
 def run_exposed_sweep(
     positions_m: Sequence[float],
     mac_kinds: Sequence[str] = ("dcf", "comap"),
@@ -43,23 +183,33 @@ def run_exposed_sweep(
     seed: int = 0,
     params: Optional[ScenarioParams] = None,
     error_model: Optional[PositionErrorModel] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[SweepPoint]:
     """Figs. 1 and 8: tagged-link goodput vs. C2's position."""
+    tasks = [
+        SweepTask(
+            fn=_exposed_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                c2_x=float(x),
+                seed=derive_seed(seed, "exposed", xi, mac_kind, rep),
+                duration_s=duration_s,
+                params=params,
+                error_model=error_model,
+            ),
+            key=("exposed", float(x), mac_kind, rep),
+        )
+        for xi, x in enumerate(positions_m)
+        for mac_kind in mac_kinds
+        for rep in range(repeats)
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="exposed_sweep"))
     points: List[SweepPoint] = []
     for x in positions_m:
         row: Dict[str, float] = {}
         for mac_kind in mac_kinds:
-            total = 0.0
-            for rep in range(repeats):
-                scenario = exposed_terminal_topology(
-                    mac_kind,
-                    c2_x=x,
-                    seed=seed + 1000 * rep,
-                    params=params,
-                    error_model=error_model,
-                )
-                total += scenario.run_goodput_mbps(duration_s)
-            row[mac_kind] = total / repeats
+            row[mac_kind] = sum(next(results) for _ in range(repeats)) / repeats
         points.append(SweepPoint(x=float(x), goodput_mbps=row))
     return points
 
@@ -72,27 +222,34 @@ def run_payload_sweep(
     seed: int = 0,
     mac_kind: str = "dcf",
     params: Optional[ScenarioParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[int, List[SweepPoint]]:
     """Fig. 2: goodput vs. payload size for each hidden-terminal count."""
-    from repro.experiments.topologies import hidden_terminal_topology
-
+    tasks = [
+        SweepTask(
+            fn=_hidden_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                payload_bytes=int(payload),
+                n_ht=n_ht,
+                seed=derive_seed(seed, "payload", n_ht, pi, mac_kind, rep),
+                duration_s=duration_s,
+                params=params,
+            ),
+            key=("payload", n_ht, int(payload), mac_kind, rep),
+        )
+        for n_ht in hidden_counts
+        for pi, payload in enumerate(payloads)
+        for rep in range(repeats)
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="payload_sweep"))
     curves: Dict[int, List[SweepPoint]] = {}
     for n_ht in hidden_counts:
         series: List[SweepPoint] = []
         for payload in payloads:
-            total = 0.0
-            for rep in range(repeats):
-                scenario = hidden_terminal_topology(
-                    mac_kind,
-                    payload_bytes=payload,
-                    n_ht=n_ht,
-                    seed=seed + 1000 * rep,
-                    params=params,
-                )
-                total += scenario.run_goodput_mbps(duration_s)
-            series.append(
-                SweepPoint(x=float(payload), goodput_mbps={mac_kind: total / repeats})
-            )
+            mean = sum(next(results) for _ in range(repeats)) / repeats
+            series.append(SweepPoint(x=float(payload), goodput_mbps={mac_kind: mean}))
         curves[n_ht] = series
     return curves
 
@@ -115,36 +272,53 @@ def run_model_validation(
     contenders: int = 5,
     duration_s: float = 2.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[ModelValidationPoint]:
-    """Fig. 7: the HT goodput model against the discrete-event simulator."""
+    """Fig. 7: the HT goodput model against the discrete-event simulator.
+
+    The analytical predictions are closed-form and stay in the parent;
+    only the simulations fan out.  Every grid point keeps the caller's
+    ``seed`` verbatim (the historical behaviour — the grid coordinates
+    already distinguish the scenarios).
+    """
     params = ht_params()
     data_rate = params.rates.by_bps(params.data_rate_bps)
     model = HtGoodputModel(
         BianchiSlotModel(params.timing, data_rate, params.rates.base)
     )
-    points: List[ModelValidationPoint] = []
-    for hidden in hidden_counts:
-        for window in windows:
-            for payload in payloads:
-                predicted = model.goodput_bps(window, contenders, hidden, payload) / 1e6
-                scenario = model_validation_topology(
-                    window=window,
-                    payload_bytes=payload,
-                    hidden=hidden,
-                    contenders=contenders,
-                    seed=seed,
-                )
-                measured = scenario.run_goodput_mbps(duration_s)
-                points.append(
-                    ModelValidationPoint(
-                        window=window,
-                        hidden=hidden,
-                        payload_bytes=payload,
-                        model_mbps=predicted,
-                        sim_mbps=measured,
-                    )
-                )
-    return points
+    grid = [
+        (hidden, window, payload)
+        for hidden in hidden_counts
+        for window in windows
+        for payload in payloads
+    ]
+    tasks = [
+        SweepTask(
+            fn=_model_validation_goodput,
+            kwargs=dict(
+                window=window,
+                payload_bytes=int(payload),
+                hidden=hidden,
+                contenders=contenders,
+                seed=seed,
+                duration_s=duration_s,
+            ),
+            key=("model_validation", window, hidden, int(payload)),
+        )
+        for hidden, window, payload in grid
+    ]
+    measured = run_tasks(tasks, jobs=jobs, cache=cache, label="model_validation")
+    return [
+        ModelValidationPoint(
+            window=window,
+            hidden=hidden,
+            payload_bytes=payload,
+            model_mbps=model.goodput_bps(window, contenders, hidden, payload) / 1e6,
+            sim_mbps=sim_mbps,
+        )
+        for (hidden, window, payload), sim_mbps in zip(grid, measured)
+    ]
 
 
 def run_ht_cdf(
@@ -152,15 +326,36 @@ def run_ht_cdf(
     duration_s: float = 2.0,
     seed: int = 0,
     params: Optional[ScenarioParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[float]]:
-    """Fig. 9: tagged-link goodput across the 10 HT topology configurations."""
+    """Fig. 9: tagged-link goodput across the 10 HT topology configurations.
+
+    The compared MAC variants share each configuration's seed (paired
+    comparison, as in the testbed where both protocols ran on the same
+    physical layout).
+    """
+    configurations = fig9_configurations()
+    tasks = [
+        SweepTask(
+            fn=_ht_adaptation_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                slots=slots,
+                seed=derive_seed(seed, "ht_cdf", index),
+                duration_s=duration_s,
+                params=params,
+            ),
+            key=("ht_cdf", index, mac_kind),
+        )
+        for index, slots in enumerate(configurations)
+        for mac_kind in mac_kinds
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="ht_cdf"))
     samples: Dict[str, List[float]] = {kind: [] for kind in mac_kinds}
-    for index, slots in enumerate(fig9_configurations()):
+    for _index in range(len(configurations)):
         for mac_kind in mac_kinds:
-            scenario = ht_adaptation_topology(
-                mac_kind, slots=slots, seed=seed + index, params=params
-            )
-            samples[mac_kind].append(scenario.run_goodput_mbps(duration_s))
+            samples[mac_kind].append(next(results))
     return samples
 
 
@@ -170,27 +365,37 @@ def run_office_floor(
     duration_s: float = 2.0,
     seed: int = 0,
     params: Optional[ScenarioParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[float]]:
     """Fig. 10: per-topology average link goodput for each protocol variant.
 
     ``variants`` is a list of (label, mac_kind, error_model) triples, e.g.
     ``[("Basic DCF", "dcf", None), ("CO-MAP (0)", "comap", None),
-    ("CO-MAP (10)", "comap", UniformDiskError(10.0))]``.
+    ("CO-MAP (10)", "comap", UniformDiskError(10.0))]``.  All variants
+    share each topology's channel seed (paired comparison across the CDF).
     """
-    samples: Dict[str, List[float]] = {label: [] for label, _, _ in variants}
-    for topo in range(n_topologies):
-        for label, mac_kind, error_model in variants:
-            scenario = office_floor_topology(
-                mac_kind,
+    tasks = [
+        SweepTask(
+            fn=_office_floor_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
                 topology_seed=1000 + topo,
-                seed=seed + topo,
+                seed=derive_seed(seed, "office_floor", topo),
+                duration_s=duration_s,
                 params=params,
                 error_model=error_model,
-            )
-            results = scenario.network.run(duration_s)
-            samples[label].append(
-                average_link_goodput_mbps(results, scenario.extra["flows"])
-            )
+            ),
+            key=("office_floor", topo, label),
+        )
+        for topo in range(n_topologies)
+        for label, mac_kind, error_model in variants
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="office_floor"))
+    samples: Dict[str, List[float]] = {label: [] for label, _, _ in variants}
+    for _topo in range(n_topologies):
+        for label, _, _ in variants:
+            samples[label].append(next(results))
     return samples
 
 
@@ -198,54 +403,75 @@ def run_multi_et(
     duration_s: float = 2.0,
     seed: int = 0,
     params: Optional[ScenarioParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, float]:
     """Fig. 6: aggregate goodput of three mutually-exposed links.
 
     Compares basic DCF, CO-MAP with the enhanced scheduler, and CO-MAP
-    with the scheduler disabled (the CCA-override ablation).
+    with the scheduler disabled (the CCA-override ablation).  The three
+    variants share ``seed`` — a paired ablation on one topology.
     """
-    outcomes: Dict[str, float] = {}
     configs = [
         ("dcf", "dcf", True),
         ("comap", "comap", True),
         ("comap-no-scheduler", "comap", False),
     ]
-    for label, mac_kind, scheduler in configs:
-        scenario = multi_et_topology(
-            mac_kind, seed=seed, params=params, enhanced_scheduler=scheduler
+    tasks = [
+        SweepTask(
+            fn=_multi_et_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                seed=seed,
+                duration_s=duration_s,
+                params=params,
+                enhanced_scheduler=scheduler,
+            ),
+            key=("multi_et", label),
         )
-        results = scenario.network.run(duration_s)
-        outcomes[label] = results.aggregate_goodput_bps / 1e6
-    return outcomes
+        for label, mac_kind, scheduler in configs
+    ]
+    results = run_tasks(tasks, jobs=jobs, cache=cache, label="multi_et")
+    return {label: value for (label, _, _), value in zip(configs, results)}
 
 
 def run_rival_et(
     duration_s: float = 1.0,
     seeds: Sequence[int] = (1, 2, 3),
     params: Optional[ScenarioParams] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, float]:
     """Enhanced-scheduler ablation: two rival ETs sharing one receiver.
 
     Returns the mean aggregate goodput (Mbit/s) of the two exposed links
     under basic DCF, CO-MAP with the enhanced scheduler, and CO-MAP with
-    the scheduler disabled (rival ETs collide at the shared AP).
+    the scheduler disabled (rival ETs collide at the shared AP).  The
+    caller supplies explicit seeds; each is shared across the three
+    variants (paired ablation).
     """
-    outcomes: Dict[str, float] = {}
     configs = [
         ("dcf", "dcf", True),
         ("comap", "comap", True),
         ("comap-no-scheduler", "comap", False),
     ]
-    for label, mac_kind, scheduler in configs:
-        total = 0.0
-        for seed in seeds:
-            scenario = rival_et_topology(
-                mac_kind, seed=seed, params=params, enhanced_scheduler=scheduler
-            )
-            results = scenario.network.run(duration_s)
-            e1, e2 = scenario.extra["e1"], scenario.extra["e2"]
-            ap1 = scenario.extra["ap1"]
-            total += results.goodput_mbps(e1.node_id, ap1.node_id)
-            total += results.goodput_mbps(e2.node_id, ap1.node_id)
-        outcomes[label] = total / len(seeds)
-    return outcomes
+    tasks = [
+        SweepTask(
+            fn=_rival_et_goodput,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                seed=seed,
+                duration_s=duration_s,
+                params=params,
+                enhanced_scheduler=scheduler,
+            ),
+            key=("rival_et", label, seed),
+        )
+        for label, mac_kind, scheduler in configs
+        for seed in seeds
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="rival_et"))
+    return {
+        label: sum(next(results) for _ in seeds) / len(seeds)
+        for label, _, _ in configs
+    }

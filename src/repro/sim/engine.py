@@ -34,7 +34,7 @@ class EventHandle:
     need to cancel (e.g. an ACK timeout cancelled by ACK arrival).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
 
     def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
         self.time = time
@@ -42,9 +42,16 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent."""
+        """Prevent the callback from firing.  Idempotent.
+
+        Cancelling after the event fired is a no-op: the handle stays in
+        the ``fired`` state rather than pretending the callback never ran.
+        """
+        if self.fired:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled closures don't pin objects.
         self.callback = _noop
@@ -53,13 +60,13 @@ class EventHandle:
     @property
     def pending(self) -> bool:
         """True while the event is scheduled and not cancelled or fired."""
-        return not self.cancelled
+        return not self.cancelled and not self.fired
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
         return f"<EventHandle t={self.time} seq={self.seq} {state}>"
 
 
@@ -145,7 +152,9 @@ class Simulator:
                 heapq.heappop(self._queue)
                 self._now = handle.time
                 callback, args = handle.callback, handle.args
-                handle.cancelled = True  # fired events cannot be cancelled later
+                handle.fired = True  # fired events cannot be cancelled later
+                handle.callback = _noop  # release closures, as cancel() does
+                handle.args = ()
                 callback(*args)
                 fired += 1
                 self._events_fired += 1

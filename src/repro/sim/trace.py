@@ -10,6 +10,7 @@ transmission was still in the air").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -96,3 +97,27 @@ class TraceRecorder:
             key = f"{event.category}/{event.name}"
             hist[key] = hist.get(key, 0) + 1
         return hist
+
+    def clear(self) -> None:
+        """Drop all recorded events (categories stay enabled)."""
+        self._events.clear()
+
+
+_global_recorder: Optional[TraceRecorder] = None
+
+
+def global_recorder() -> TraceRecorder:
+    """The process-wide recorder for cross-run instrumentation.
+
+    Per-network recorders are clocked by simulated time; this one spans
+    whole sweeps (many networks, possibly many worker processes), so it
+    is clocked by wall time in nanoseconds.  The sweep executor in
+    :mod:`repro.experiments.parallel` records ``sweep``-category
+    progress/timing events here; like any recorder it stays silent until
+    a category is enabled.
+    """
+    global _global_recorder
+    if _global_recorder is None:
+        _global_recorder = TraceRecorder()
+        _global_recorder.bind_clock(time.perf_counter_ns)
+    return _global_recorder

@@ -107,6 +107,76 @@ class TestCancellation:
         assert sim.pending_events == 1
 
 
+class TestHandleStates:
+    """fired / cancelled / pending are three distinct, observable states."""
+
+    def test_fresh_handle_is_pending_only(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        assert handle.pending
+        assert not handle.fired
+        assert not handle.cancelled
+
+    def test_fired_handle_is_fired_not_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert not handle.cancelled
+        assert not handle.pending
+
+    def test_cancelled_handle_is_cancelled_not_fired(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.run()
+        assert handle.cancelled
+        assert not handle.fired
+        assert not handle.pending
+
+    def test_cancel_after_fire_keeps_fired_state(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, 1)
+        sim.run()
+        handle.cancel()  # idempotent no-op: the callback already ran
+        assert fired == [1]
+        assert handle.fired
+        assert not handle.cancelled
+
+    def test_handle_fired_before_callback_runs(self):
+        # A callback observing its own handle sees the fired state — the
+        # engine marks the handle when popped, not after the callback.
+        sim = Simulator()
+        seen = []
+        box = {}
+
+        def observe():
+            seen.append((box["h"].fired, box["h"].pending))
+
+        box["h"] = sim.schedule(10, observe)
+        sim.run()
+        assert seen == [(True, False)]
+
+    def test_fired_handle_releases_callback_references(self):
+        # Fired handles drop closure references just like cancelled ones,
+        # so long-lived handles don't pin dead objects.
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert handle.args == ()
+
+    def test_repr_reflects_all_three_states(self):
+        sim = Simulator()
+        pending = sim.schedule(10, lambda: None)
+        cancelled = sim.schedule(20, lambda: None)
+        assert "pending" in repr(pending)
+        cancelled.cancel()
+        assert "cancelled" in repr(cancelled)
+        sim.run()
+        assert "fired" in repr(pending)
+
+
 class TestRunControl:
     def test_until_horizon_stops_and_advances_clock(self):
         sim = Simulator()

@@ -1,0 +1,209 @@
+"""The on-disk sweep result cache: hits, invalidation, corruption tolerance.
+
+The cache is keyed by a content fingerprint of the whole task (callable
+identity + every keyword argument, with dataclasses like
+``ScenarioParams`` canonicalised field-by-field).  The properties that
+matter:
+
+* a repeated identical sweep hits the cache and returns identical rows;
+* changing *any* scenario knob — params field, seed, duration, topology
+  argument — misses (stale results can never be served);
+* a corrupted, truncated, or wrong-version cache file is just a miss:
+  sweeps recompute, they never crash.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.parallel import (
+    CACHE_VERSION,
+    ResultCache,
+    SweepTask,
+    default_cache_dir,
+    run_tasks,
+)
+from repro.experiments.params import testbed_params
+from repro.experiments.runner import run_exposed_sweep
+
+
+def _double(x: float) -> float:
+    return x * 2.0
+
+
+def _task(x: float = 1.5) -> SweepTask:
+    return SweepTask(fn=_double, kwargs={"x": x}, key=("double", x))
+
+
+class TestHitMiss:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        tasks = [_task(1.0), _task(2.0)]
+        first = run_tasks(tasks, cache=cache)
+        assert first == [2.0, 4.0]
+        assert (cache.hits, cache.misses) == (0, 2)
+        second = run_tasks(tasks, cache=cache)
+        assert second == first
+        assert cache.hits == 2
+
+    def test_float_results_roundtrip_exactly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        value = 1.0 / 3.0 + 1e-16
+        task = _task(value)
+        (cold,) = run_tasks([task], cache=cache)
+        (warm,) = run_tasks([task], cache=cache)
+        assert warm == cold
+        assert warm.hex() == cold.hex()
+
+    def test_cache_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_tasks([_task(3.0)])
+        assert not os.listdir(tmp_path)
+
+    def test_cache_enabled_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+        run_tasks([_task(3.0)])
+        assert len(os.listdir(tmp_path)) == 1
+
+
+class TestInvalidation:
+    def test_every_scenario_params_field_invalidates(self, tmp_path):
+        base = testbed_params()
+        base_task = SweepTask(fn=_double, kwargs={"x": 1.0, "params": base})
+        seen = {base_task.fingerprint()}
+        # Perturb each scalar field one at a time; every perturbation
+        # must produce a distinct fingerprint.
+        perturbations = dict(
+            alpha=base.alpha + 0.1,
+            sigma_db=base.sigma_db + 1.0,
+            tx_power_dbm=base.tx_power_dbm + 3.0,
+            cs_threshold_dbm=base.cs_threshold_dbm + 1.0,
+            noise_floor_dbm=base.noise_floor_dbm + 1.0,
+            shadowing_mode="none",
+            data_rate_bps=54_000_000,
+            cw_min=base.cw_min * 2 + 1,
+            cw_max=base.cw_max * 2 + 1,
+            retry_limit=base.retry_limit + 1,
+            queue_limit=base.queue_limit + 1,
+            default_payload_bytes=base.default_payload_bytes + 1,
+        )
+        for name, value in perturbations.items():
+            changed = base.with_overrides(**{name: value})
+            fp = SweepTask(fn=_double, kwargs={"x": 1.0, "params": changed}).fingerprint()
+            assert fp not in seen, f"changing {name} did not invalidate the cache"
+            seen.add(fp)
+
+    def test_nested_comap_config_invalidates(self, tmp_path):
+        from repro.core.config import CoMapConfig
+
+        base = testbed_params()
+        changed = base.with_overrides(comap=CoMapConfig(t_prr=0.90, t_sir_db=6.0))
+        a = SweepTask(fn=_double, kwargs={"params": base}).fingerprint()
+        b = SweepTask(fn=_double, kwargs={"params": changed}).fingerprint()
+        assert a != b
+
+    def test_seed_duration_and_fn_invalidate(self):
+        a = SweepTask(fn=_double, kwargs={"x": 1.0, "seed": 1, "duration_s": 0.5})
+        b = SweepTask(fn=_double, kwargs={"x": 1.0, "seed": 2, "duration_s": 0.5})
+        c = SweepTask(fn=_double, kwargs={"x": 1.0, "seed": 1, "duration_s": 0.6})
+        d = SweepTask(fn=_task, kwargs={"x": 1.0, "seed": 1, "duration_s": 0.5})
+        prints = {t.fingerprint() for t in (a, b, c, d)}
+        assert len(prints) == 4
+
+    def test_error_model_identity_and_radius_invalidate(self):
+        from repro.net.localization import GaussianError, UniformDiskError
+
+        fps = {
+            SweepTask(fn=_double, kwargs={"error_model": m}).fingerprint()
+            for m in (None, UniformDiskError(10.0), UniformDiskError(5.0),
+                      GaussianError(10.0))
+        }
+        assert len(fps) == 4
+
+
+class TestCorruptionTolerance:
+    def _poison(self, cache: ResultCache, task: SweepTask, payload: bytes) -> None:
+        os.makedirs(cache.root, exist_ok=True)
+        with open(cache.path_for(task.fingerprint()), "wb") as handle:
+            handle.write(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",                               # truncated to nothing
+            b"{not json at all",               # syntactically broken
+            b"[1, 2, 3]",                      # wrong shape
+            b'{"version": 999, "result": 1}',  # future version
+            b'{"version": 1}',                 # missing result
+            b'\x80\x04\x95garbage',            # binary garbage
+        ],
+    )
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path, payload):
+        cache = ResultCache(str(tmp_path))
+        task = _task(4.0)
+        self._poison(cache, task, payload)
+        results = run_tasks([task], cache=cache)
+        assert results == [8.0]
+        # ... and the recompute repaired the entry.
+        hit, value = cache.get(task.fingerprint())
+        assert hit and value == 8.0
+
+    def test_wrong_key_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = _task(4.0)
+        self._poison(
+            cache,
+            task,
+            json.dumps(
+                {"version": CACHE_VERSION, "key": "somebody-else", "result": 1.0}
+            ).encode(),
+        )
+        assert run_tasks([task], cache=cache) == [8.0]
+
+    def test_unreadable_directory_never_crashes(self, tmp_path):
+        missing = str(tmp_path / "does" / "not" / "exist")
+        cache = ResultCache(missing)
+        assert run_tasks([_task(5.0)], cache=cache) == [10.0]
+
+    def test_non_json_result_simply_not_memoized(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = SweepTask(fn=complex, kwargs={"real": 1.0, "imag": 2.0})
+        assert run_tasks([task], cache=cache) == [complex(1.0, 2.0)]
+        hit, _ = cache.get(task.fingerprint())
+        assert not hit
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_tasks([_task(1.0), _task(2.0)], cache=cache)
+        assert cache.clear() == 2
+        assert os.listdir(tmp_path) == []
+
+
+class TestEndToEndSweepCaching:
+    def test_cached_sweep_is_bit_identical(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        kwargs = dict(
+            positions_m=[26.0], mac_kinds=("dcf",), duration_s=0.15,
+            repeats=2, seed=9,
+        )
+        cold = run_exposed_sweep(cache=cache, **kwargs)
+        assert cache.misses == 2 and cache.hits == 0
+        warm = run_exposed_sweep(cache=cache, **kwargs)
+        assert cache.hits == 2
+        assert [(p.x, p.goodput_mbps) for p in cold] == [
+            (p.x, p.goodput_mbps) for p in warm
+        ]
+
+    def test_different_seed_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        kwargs = dict(
+            positions_m=[26.0], mac_kinds=("dcf",), duration_s=0.15, repeats=1
+        )
+        run_exposed_sweep(cache=cache, seed=1, **kwargs)
+        run_exposed_sweep(cache=cache, seed=2, **kwargs)
+        assert cache.hits == 0
+        assert cache.misses == 2
