@@ -34,7 +34,14 @@ class SrSender(Generic[ItemT]):
         self.window_size = window_size
         self._pending: "OrderedDict[int, ItemT]" = OrderedDict()
         self.advances = 0
+        #: Deferred frames confirmed by a *later* frame's ACK — the ACK
+        #: they were waiting on really was lost and the piggybacked
+        #: sequence list rescued them.
         self.late_confirms = 0
+        #: Deferred frames confirmed by their *own* ACK (it arrived after
+        #: the sender had already advanced past them, e.g. a delayed ACK
+        #: beating the retransmission).  Not a loss, so counted apart.
+        self.prompt_confirms = 0
 
     def defer(self, seq: int, item: ItemT) -> None:
         """Record an unacknowledged frame and advance past it.
@@ -52,19 +59,36 @@ class SrSender(Generic[ItemT]):
         self._pending[seq] = item
         self.advances += 1
 
-    def confirm(self, seqs: Iterable[int]) -> List[ItemT]:
+    def confirm(self, seqs: Iterable[int], own_seq: Optional[int] = None) -> List[ItemT]:
         """Remove every pending frame whose sequence appears in ``seqs``.
 
-        Returns the confirmed items (frames whose own ACK had been lost
-        but that a later ACK vouched for).
+        Returns the confirmed items.  ``own_seq`` names the sequence the
+        confirming ACK *directly* acknowledges: confirming that frame is
+        a **prompt** confirmation (its own ACK arrived, merely later
+        than the timeout), while every other hit is a **late**
+        confirmation — a frame whose own ACK was genuinely lost and that
+        this ACK's piggybacked list vouched for.  Before the split,
+        ``late_confirms`` over-reported by counting both kinds.
         """
         confirmed: List[ItemT] = []
         for seq in seqs:
             item = self._pending.pop(seq, None)
             if item is not None:
                 confirmed.append(item)
-                self.late_confirms += 1
+                if own_seq is not None and seq == own_seq:
+                    self.prompt_confirms += 1
+                else:
+                    self.late_confirms += 1
         return confirmed
+
+    def counters(self) -> dict:
+        """Registry-source view of this window's counters."""
+        return {
+            "advances": self.advances,
+            "prompt_confirms": self.prompt_confirms,
+            "late_confirms": self.late_confirms,
+            "outstanding": len(self._pending),
+        }
 
     @property
     def window_full(self) -> bool:

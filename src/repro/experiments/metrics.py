@@ -27,13 +27,26 @@ def average_link_goodput_mbps(results: RunResults, flows: List[Tuple[int, int]])
     return sum(values.values()) / len(values)
 
 
+def network_counters(network: Network) -> Dict[str, float]:
+    """The full typed-counter snapshot (``prefix/name`` keys).
+
+    Every MAC, channel, and the engine register sources into
+    ``network.registry``; this is the aggregated network-wide view.
+    """
+    return network.counters()
+
+
 def comap_counters(network: Network) -> Dict[str, int]:
-    """Aggregate the CO-MAP-specific counters across all nodes."""
-    totals: Dict[str, int] = {}
-    for node in network.nodes.values():
-        stats = getattr(node.mac, "comap_stats", None)
-        if stats is None:
-            continue
-        for key, value in vars(stats).items():
-            totals[key] = totals.get(key, 0) + value
-    return totals
+    """Aggregate the CO-MAP-specific counters across all nodes.
+
+    Reads the network's counter registry (the ``comap/`` namespace each
+    :class:`~repro.mac.comap.CoMapMac` registers into) rather than
+    scraping ``comap_stats`` attributes; keys keep their short names for
+    backward compatibility.  Empty for networks without CO-MAP nodes.
+    """
+    prefix = "comap/"
+    return {
+        key[len(prefix):]: int(value)
+        for key, value in network.counters().items()
+        if key.startswith(prefix)
+    }

@@ -28,8 +28,27 @@ sweep into independent :class:`SweepTask` records and hands them to
 
 Per-task progress and wall-clock timings are recorded into the process
 global :func:`repro.sim.trace.global_recorder` under the ``sweep``
-category (enable with ``REPRO_TRACE_SWEEP=1`` or
-``global_recorder().enable("sweep")``).
+category (enable with ``REPRO_TRACE_SWEEP=1``, the broader
+``REPRO_TRACE`` knob, or ``global_recorder().enable("sweep")``).
+
+Observability (:mod:`repro.obs`)
+--------------------------------
+
+Pool workers are separate processes with their *own* module-global
+recorder and counter registry, so anything recorded there would
+silently vanish when the worker exits.  The pool entry point therefore
+snapshots both around each task and ships the deltas back inside the
+task result; the parent merges them into its own
+:func:`~repro.sim.trace.global_recorder` /
+:func:`~repro.obs.counters.global_registry`, making a 2-worker run's
+trace indistinguishable from a serial one (same events, worker PIDs in
+the ``task_run`` records).  When a manifest sink is active
+(``REPRO_MANIFEST_DIR`` or :func:`repro.obs.manifest.manifest_sink`),
+every :func:`run_tasks` call also writes a schema-validated
+``<label>.manifest.json`` recording the task grid, seeds, git SHA,
+wall time, and counter snapshot.  All of it costs nothing measurable
+when disabled: one env lookup and a handful of perf-counter reads per
+*sweep*, not per task.
 """
 
 from __future__ import annotations
@@ -45,7 +64,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.trace import global_recorder
+from repro.obs import manifest as obs_manifest
+from repro.obs.counters import diff_snapshot, global_registry
+from repro.obs.trace_io import events_from_payload, events_to_payload
+from repro.sim.trace import configure_from_env, global_recorder
 
 #: Environment knob: worker-process count for sweep execution.
 JOBS_ENV = "REPRO_JOBS"
@@ -149,10 +171,49 @@ class SweepTask:
 
 
 def _execute_indexed(task: SweepTask) -> Tuple[Any, float]:
-    """Worker entry point: run one task, returning (result, elapsed_s)."""
+    """Run one task, returning (result, elapsed_s).
+
+    Records a ``sweep/task_run`` event *in the executing process* (the
+    parent when serial, the worker when pooled) — the per-task half of
+    the profiling hooks.
+    """
+    trace = _sweep_trace()
     started = time.perf_counter()
     result = task.execute()
-    return result, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    trace.record(
+        "sweep", "task_run", key=task.key, pid=os.getpid(), elapsed_s=elapsed
+    )
+    return result, elapsed
+
+
+def _execute_shipping(task: SweepTask) -> Tuple[Any, float, list, Dict[str, Any]]:
+    """Pool entry point: run one task and ship observability deltas.
+
+    A worker process has its own module-global trace recorder and
+    counter registry; whatever the task records there would be lost when
+    the worker exits.  So: snapshot both, run, and return the deltas
+    (versioned JSON-safe payloads) with the result for the parent to
+    merge.  Baselines are taken per call, which also fences off events
+    inherited over ``fork`` and events from earlier tasks on a reused
+    worker.
+    """
+    recorder = _sweep_trace()
+    events_base = len(recorder)
+    dropped_base = recorder.dropped_events
+    registry = global_registry()
+    counters_base = registry.snapshot()
+    result, elapsed = _execute_indexed(task)
+    # Ring-buffer aware slice: events dropped during the task shift the
+    # baseline index left.
+    shift = recorder.dropped_events - dropped_base
+    fresh = recorder.events()[max(0, events_base - shift):]
+    return (
+        result,
+        elapsed,
+        events_to_payload(fresh),
+        diff_snapshot(counters_base, registry.snapshot()),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -264,7 +325,13 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _sweep_trace():
-    recorder = global_recorder()
+    """The global recorder, with env-requested categories enabled.
+
+    Runs in parent and workers alike, so ``REPRO_TRACE``/
+    ``REPRO_TRACE_SWEEP`` opt-ins follow the environment into pool
+    processes.
+    """
+    recorder = configure_from_env(global_recorder())
     if os.environ.get(TRACE_ENV, "0") == "1":
         recorder.enable("sweep")
     return recorder
@@ -288,6 +355,7 @@ def run_tasks(
     if cache is None:
         cache = _env_cache()
     jobs = resolve_jobs(jobs)
+    sweep_started = time.perf_counter()
     trace.record(
         "sweep", "start", label=label, tasks=len(tasks), jobs=jobs,
         cached=cache is not None,
@@ -306,8 +374,17 @@ def run_tasks(
                 trace.record("sweep", "cache_hit", label=label, key=task.key)
                 continue
         pending.append(index)
+    trace.record(
+        "sweep", "phase", label=label, phase="cache_scan",
+        elapsed_s=time.perf_counter() - sweep_started, pending=len(pending),
+    )
 
+    exec_started = time.perf_counter()
     completed = _run_pending(tasks, pending, jobs, label, trace)
+    trace.record(
+        "sweep", "phase", label=label, phase="execute",
+        elapsed_s=time.perf_counter() - exec_started, tasks=len(pending),
+    )
     for index, (value, elapsed) in completed.items():
         results[index] = value
         if cache is not None:
@@ -316,8 +393,63 @@ def run_tasks(
             "sweep", "task_done", label=label, key=tasks[index].key,
             elapsed_s=elapsed,
         )
-    trace.record("sweep", "done", label=label, tasks=len(tasks))
+    wall_s = time.perf_counter() - sweep_started
+    trace.record("sweep", "done", label=label, tasks=len(tasks), elapsed_s=wall_s)
+    manifest_dir = obs_manifest.active_manifest_dir()
+    if manifest_dir:
+        _write_sweep_manifest(
+            manifest_dir, label=label, tasks=tasks, jobs=jobs, wall_s=wall_s,
+            cache=cache, trace=trace,
+        )
     return results
+
+
+def _write_sweep_manifest(
+    directory: str,
+    label: str,
+    tasks: Sequence[SweepTask],
+    jobs: int,
+    wall_s: float,
+    cache: Optional[ResultCache],
+    trace,
+) -> Optional[str]:
+    """Write this sweep's run manifest; storage failures are non-fatal."""
+    task_rows = []
+    for task in tasks:
+        try:
+            fingerprint = task.fingerprint()
+        except TypeError:
+            fingerprint = "unfingerprintable"
+        task_rows.append(
+            {
+                "key": obs_manifest.jsonable(task.key),
+                "seed": task.kwargs.get("seed"),
+                "fingerprint": fingerprint,
+            }
+        )
+    seeds = sorted(
+        {
+            int(task.kwargs["seed"])
+            for task in tasks
+            if isinstance(task.kwargs.get("seed"), int)
+        }
+    )
+    manifest = obs_manifest.build_manifest(
+        label=label,
+        tasks=task_rows,
+        jobs=jobs,
+        wall_s=wall_s,
+        params=obs_manifest.jsonable(tasks[0].kwargs) if tasks else {},
+        seeds=seeds,
+        counters=global_registry().snapshot(),
+        trace_counts=trace.counts(),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+    try:
+        return obs_manifest.write_manifest(manifest, directory)
+    except OSError:
+        return None  # read-only/full disk: manifests are best-effort
 
 
 def _run_pending(
@@ -360,9 +492,23 @@ def _run_parallel(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         outcomes = list(
             pool.map(
-                _execute_indexed,
+                _execute_shipping,
                 [tasks[index] for index in pending],
                 chunksize=chunksize,
             )
         )
-    return dict(zip(pending, outcomes))
+    # Merge each worker's shipped trace/counter deltas into this
+    # process's globals — without this, everything recorded inside the
+    # pool would die with the workers.
+    recorder = global_recorder()
+    registry = global_registry()
+    completed: Dict[int, Tuple[Any, float]] = {}
+    for index, (value, elapsed, events_payload, counter_delta) in zip(
+        pending, outcomes
+    ):
+        if events_payload:
+            recorder.merge(events_from_payload(events_payload))
+        if counter_delta:
+            registry.merge_snapshot(counter_delta)
+        completed[index] = (value, elapsed)
+    return completed

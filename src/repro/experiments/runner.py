@@ -25,6 +25,12 @@ Two seeding conventions, chosen per runner and kept deliberately:
   ablations) share one channel seed across the compared variants on each
   topology, mirroring the paper's paired measurement and keeping the
   comparisons low-variance.
+
+Observability: because every runner goes through ``run_tasks``, each
+sweep records ``sweep``-category trace events (``REPRO_TRACE_SWEEP=1``)
+and — when a manifest sink is active (``REPRO_MANIFEST_DIR`` or
+:func:`repro.obs.manifest.manifest_sink`) — writes a schema-validated
+run manifest next to its results.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations

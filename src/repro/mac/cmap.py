@@ -77,6 +77,10 @@ class CmapStats:
     learned_denied: int = 0
     reprobes: int = 0
 
+    def as_counter_dict(self) -> Dict[str, int]:
+        """Registry-source view (all fields are scalar counters)."""
+        return dict(vars(self))
+
 
 class CmapMac(DcfMac):
     """DCF extended with loss-learned exposed-terminal concurrency."""
@@ -95,6 +99,11 @@ class CmapMac(DcfMac):
         self._attempt_was_concurrent = False
         self._inflight_link: Optional[Link] = None
         self._probe_rng = self._rng  # reuse the backoff stream's generator
+
+    def register_counters(self, registry) -> None:
+        """Add the learned-conflict-map counters to the registry."""
+        super().register_counters(registry)
+        registry.register_source("cmap", self.cmap_stats.as_counter_dict)
 
     # ------------------------------------------------------------------
     # The learned map

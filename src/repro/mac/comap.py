@@ -103,6 +103,14 @@ class CoMapStats:
     sr_deferrals: int = 0
     sr_retransmissions: int = 0
     sr_late_confirms: int = 0
+    #: Deferred frames whose *own* (delayed) ACK confirmed them — split
+    #: from ``sr_late_confirms`` so that counter means what its name
+    #: says: frames rescued by a later ACK's piggybacked sequence list.
+    sr_prompt_confirms: int = 0
+
+    def as_counter_dict(self) -> Dict[str, int]:
+        """Registry-source view (all fields are scalar counters)."""
+        return dict(vars(self))
 
 
 class _Opportunity:
@@ -153,6 +161,20 @@ class CoMapMac(DcfMac):
         self._t_cs_prime_mw = max(
             dbm_to_mw(self.radio.config.cs_threshold_dbm) - self.radio.noise_mw, 0.0
         )
+
+    def register_counters(self, registry) -> None:
+        """Add the CO-MAP and selective-repeat counters to the registry."""
+        super().register_counters(registry)
+        registry.register_source("comap", self.comap_stats.as_counter_dict)
+        registry.register_source("arq", self._arq_counters)
+
+    def _arq_counters(self) -> Dict[str, int]:
+        """Aggregate :class:`SrSender` counters across this node's flows."""
+        totals: Dict[str, int] = {}
+        for sender in self._sr_senders.values():
+            for key, value in sender.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # Adaptation (hidden terminals, Section IV-D)
@@ -565,16 +587,26 @@ class CoMapMac(DcfMac):
         return ack
 
     def _accept_ack(self, ack: Frame) -> None:
-        """Confirm deferred frames from the piggybacked sequence list."""
+        """Confirm deferred frames from the piggybacked sequence list.
+
+        The ACK's own sequence is passed through so a deferred frame
+        confirmed by its *own* delayed ACK counts as a prompt
+        confirmation, not a late one — only frames vouched for by a
+        later ACK's list belong in ``sr_late_confirms``.
+        """
         flow = ack.flow
         received = ack.meta.get("sr_received")
         if flow is not None and received:
             sender = self._sr_senders.get(flow)
             if sender is not None:
-                confirmed = sender.confirm(received)
-                for _ in confirmed:
-                    self.stats.successes += 1
-                    self.comap_stats.sr_late_confirms += 1
+                prompt_before = sender.prompt_confirms
+                late_before = sender.late_confirms
+                confirmed = sender.confirm(received, own_seq=ack.seq)
+                self.stats.successes += len(confirmed)
+                self.comap_stats.sr_prompt_confirms += (
+                    sender.prompt_confirms - prompt_before
+                )
+                self.comap_stats.sr_late_confirms += sender.late_confirms - late_before
         super()._accept_ack(ack)
 
     def _handle_ack_timeout(self, frame: Frame) -> None:

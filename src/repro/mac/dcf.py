@@ -127,6 +127,14 @@ class LinkStats:
             self.delivered_packets_by_flow.get(flow, 0) + 1
         )
 
+    def as_counter_dict(self) -> Dict[str, int]:
+        """Scalar counters only (per-flow breakdowns stay internal)."""
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if isinstance(value, int)
+        }
+
 
 class MacState(enum.Enum):
     """Coarse DCF sender state (ACK/CTS transmission is orthogonal)."""
@@ -187,6 +195,16 @@ class DcfMac:
         self.on_deliver: Optional[Callable[[Frame], None]] = None
         #: Called whenever a queue slot frees up (sources use it to refill).
         self.on_queue_space: Optional[Callable[[], None]] = None
+
+    def register_counters(self, registry) -> None:
+        """Expose this MAC's counters through a :class:`CounterRegistry`.
+
+        Pull-based: the hot path keeps its plain attribute increments
+        and the registry polls :meth:`LinkStats.as_counter_dict` only at
+        snapshot time.  Same-prefix sources from every node are summed,
+        giving network-wide totals.
+        """
+        registry.register_source("mac", self.stats.as_counter_dict)
 
     # ------------------------------------------------------------------
     # Upper-layer interface

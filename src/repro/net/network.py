@@ -32,6 +32,7 @@ from repro.mac.timing import PhyTiming
 from repro.net.localization import NoError, PositionErrorModel
 from repro.net.node import Node
 from repro.net.traffic import CbrSource, SaturatedSource, TcpLiteFlow
+from repro.obs.counters import CounterRegistry
 from repro.phy.channel import Channel
 from repro.phy.propagation import LogNormalShadowing
 from repro.phy.radio import Radio, RadioConfig
@@ -124,6 +125,10 @@ class Network:
         self.sim = Simulator()
         self.trace = TraceRecorder(trace_categories)
         self.trace.bind_clock(lambda: self.sim.now)
+        #: Per-network counter registry: every MAC, channel, and the
+        #: engine register sources here (see ``docs/observability.md``).
+        self.registry = CounterRegistry()
+        self.registry.register_source("sim", self.sim.counters)
         self.propagation = LogNormalShadowing(params.alpha, params.sigma_db)
         self._channels: Dict[int, Channel] = {}
         #: Band-0 medium (most scenarios are single-channel).
@@ -161,6 +166,7 @@ class Network:
                 shadowing_mode=self.params.shadowing_mode,
                 trace=self.trace,
                 band=band,
+                registry=self.registry,
             )
             self._channels[band] = channel
         return channel
@@ -279,6 +285,7 @@ class Network:
                 trace=self.trace,
             )
         node = Node(node_id, name, radio, mac, is_ap=is_ap, agent=agent)
+        mac.register_counters(self.registry)
         self.nodes[node_id] = node
         self.nodes_by_name[name] = node
         return node
@@ -518,6 +525,15 @@ class Network:
                     delivered_bytes=nbytes,
                 )
         return results
+
+    def counters(self) -> Dict[str, float]:
+        """Network-wide counter snapshot, aggregated across nodes/bands.
+
+        Keys are ``prefix/name`` (``mac/…``, ``comap/…``, ``arq/…``,
+        ``channel/…``, ``sim/…``); same-named counters from different
+        nodes are summed by the registry.
+        """
+        return self.registry.snapshot()
 
     def node(self, name: str) -> Node:
         """Look a node up by name."""

@@ -1,0 +1,70 @@
+"""Structured observability: counter registry, trace export, manifests.
+
+Three layers, all costing nothing measurable when unused:
+
+* :mod:`repro.obs.counters` — typed ``Counter``/``Gauge``/``Histogram``
+  metrics behind a :class:`~repro.obs.counters.CounterRegistry` that the
+  MAC/PHY/engine layers register into (per-network) and that sweeps
+  aggregate process-wide (:func:`~repro.obs.counters.global_registry`).
+* :mod:`repro.obs.trace_io` — versioned JSONL export/import for
+  :class:`repro.sim.trace.TraceEvent` streams, so traces can be archived
+  next to results and diffed across runs.
+* :mod:`repro.obs.manifest` — schema-validated run manifests (params,
+  seeds, git SHA, wall time, counter snapshot) written by every sweep
+  when a sink is active (``REPRO_MANIFEST_DIR`` or
+  :func:`~repro.obs.manifest.manifest_sink`).
+
+See ``docs/observability.md`` for the user-facing guide.
+"""
+
+from repro.obs.counters import (
+    Counter,
+    CounterRegistry,
+    Gauge,
+    Histogram,
+    diff_snapshot,
+    global_registry,
+)
+from repro.obs.manifest import (
+    MANIFEST_DIR_ENV,
+    ManifestError,
+    RunManifest,
+    active_manifest_dir,
+    build_manifest,
+    load_manifest,
+    manifest_sink,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.trace_io import (
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    dump_jsonl,
+    events_from_payload,
+    events_to_payload,
+    load_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "Gauge",
+    "Histogram",
+    "diff_snapshot",
+    "global_registry",
+    "MANIFEST_DIR_ENV",
+    "ManifestError",
+    "RunManifest",
+    "active_manifest_dir",
+    "build_manifest",
+    "load_manifest",
+    "manifest_sink",
+    "validate_manifest",
+    "write_manifest",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "dump_jsonl",
+    "events_from_payload",
+    "events_to_payload",
+    "load_jsonl",
+]

@@ -74,6 +74,7 @@ class Channel:
         trace: Optional[TraceRecorder] = None,
         band: int = 0,
         air_latency_ns: int = 1_000,
+        registry=None,
     ) -> None:
         if shadowing_mode not in SHADOWING_MODES:
             raise ValueError(
@@ -107,6 +108,24 @@ class Channel:
         self._link_shadowing_db: Dict[tuple, float] = {}
         #: Counters for diagnostics and tests.
         self.frames_sent = 0
+        if registry is not None:
+            self.register_counters(registry)
+
+    def register_counters(self, registry) -> None:
+        """Expose medium-level counters under the ``channel`` prefix.
+
+        Per-band channels share the prefix, so a multi-band network's
+        snapshot reports medium-wide totals.
+        """
+        registry.register_source("channel", self.counters)
+
+    def counters(self) -> Dict[str, int]:
+        """Registry-source view of this band's counters."""
+        return {
+            "frames_sent": self.frames_sent,
+            "active_transmissions": len(self._active),
+            "radios": len(self._radios),
+        }
 
     # ------------------------------------------------------------------
     # Topology management

@@ -106,6 +106,17 @@ class Simulator:
         """Number of scheduled-and-live events still in the queue."""
         return sum(1 for handle in self._queue if not handle.cancelled)
 
+    def counters(self) -> dict:
+        """Engine-level counters, in registry-source form.
+
+        :class:`repro.net.network.Network` registers this under the
+        ``sim`` prefix of its counter registry.
+        """
+        return {
+            "events_fired": self._events_fired,
+            "pending_events": self.pending_events,
+        }
+
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now.
 

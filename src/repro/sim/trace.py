@@ -10,9 +10,15 @@ transmission was still in the air").
 
 from __future__ import annotations
 
+import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Environment knob: comma-separated trace categories to enable on the
+#: global recorder ("1" is shorthand for just ``sweep``).
+TRACE_ENV = "REPRO_TRACE"
 
 
 @dataclass(frozen=True)
@@ -41,12 +47,25 @@ class TraceRecorder:
 
     Recording is off unless categories are enabled, so the hot path costs a
     single set-membership test when tracing is unused.
+
+    ``max_events`` bounds memory on long runs: when set, the recorder
+    keeps only the newest ``max_events`` records (a ring buffer) and
+    counts what it evicted in :attr:`dropped_events`, so truncation is
+    always visible.  The default (``None``) keeps everything.
     """
 
-    def __init__(self, categories: Optional[List[str]] = None) -> None:
+    def __init__(
+        self,
+        categories: Optional[List[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1 (or None)")
         self._enabled = set(categories or [])
-        self._events: List[TraceEvent] = []
+        self._max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self._clock: Callable[[], int] = lambda: 0
+        self.dropped_events = 0
 
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Attach the simulator clock used to timestamp records."""
@@ -60,11 +79,25 @@ class TraceRecorder:
         """True when ``category`` is being recorded (cheap guard for callers)."""
         return category in self._enabled
 
+    @property
+    def max_events(self) -> Optional[int]:
+        """The ring-buffer capacity, or None when unbounded."""
+        return self._max_events
+
+    def set_max_events(self, max_events: Optional[int]) -> None:
+        """Re-cap the buffer; the newest events survive a shrink."""
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1 (or None)")
+        kept = deque(self._events, maxlen=max_events)
+        self.dropped_events += len(self._events) - len(kept)
+        self._max_events = max_events
+        self._events = kept
+
     def record(self, category: str, name: str, **detail: Any) -> None:
         """Record one event if its category is enabled."""
         if category not in self._enabled:
             return
-        self._events.append(
+        self._append(
             TraceEvent(
                 time=self._clock(),
                 category=category,
@@ -72,6 +105,25 @@ class TraceRecorder:
                 detail=tuple(sorted(detail.items())),
             )
         )
+
+    def _append(self, event: TraceEvent) -> None:
+        if self._max_events is not None and len(self._events) == self._max_events:
+            self.dropped_events += 1  # deque evicts the oldest on append
+        self._events.append(event)
+
+    def merge(self, events: Iterable[TraceEvent]) -> int:
+        """Append already-recorded events (e.g. from a worker process).
+
+        The events keep their original timestamps and bypass the
+        category filter — they were filtered when first recorded, by a
+        recorder configured identically in the worker.  Returns how many
+        were merged.
+        """
+        merged = 0
+        for event in events:
+            self._append(event)
+            merged += 1
+        return merged
 
     def events(
         self, category: Optional[str] = None, name: Optional[str] = None
@@ -121,3 +173,23 @@ def global_recorder() -> TraceRecorder:
         _global_recorder = TraceRecorder()
         _global_recorder.bind_clock(time.perf_counter_ns)
     return _global_recorder
+
+
+def configure_from_env(recorder: Optional[TraceRecorder] = None) -> TraceRecorder:
+    """Enable the categories named by ``$REPRO_TRACE`` on a recorder.
+
+    ``REPRO_TRACE=1`` enables the ``sweep`` category (the profiling
+    hooks of the parallel executor); any other non-empty value is read
+    as a comma-separated category list (e.g. ``REPRO_TRACE=sweep,mac``).
+    Defaults to the global recorder; called by every sweep worker so the
+    opt-in follows the environment into child processes.
+    """
+    rec = recorder if recorder is not None else global_recorder()
+    raw = os.environ.get(TRACE_ENV, "")
+    if raw and raw != "0":
+        categories = ["sweep"] if raw == "1" else raw.split(",")
+        for category in categories:
+            category = category.strip()
+            if category:
+                rec.enable(category)
+    return rec

@@ -86,10 +86,14 @@ def jain_fairness(values: Sequence[float]) -> float:
 
 def mean_gain(baseline: Sequence[float], improved: Sequence[float]) -> float:
     """Relative gain of mean(improved) over mean(baseline), e.g. 0.775 = +77.5 %."""
-    base = float(np.mean(list(baseline)))
+    base_values = list(baseline)
+    improved_values = list(improved)
+    if not base_values or not improved_values:
+        raise ValueError("mean_gain needs at least one sample on each side")
+    base = float(np.mean(base_values))
     if base <= 0.0:
         raise ValueError("baseline mean must be positive to compute a gain")
-    return float(np.mean(list(improved))) / base - 1.0
+    return float(np.mean(improved_values)) / base - 1.0
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,39 @@ class TestSrSender:
         assert sender.advances == 1
         assert sender.late_confirms == 1
 
+    def test_prompt_confirm_not_counted_late(self):
+        # Regression: a frame confirmed by the ACK for its *own*
+        # transmission (own_seq matches) is a prompt confirmation, not a
+        # late one — late_confirms used to over-report by counting both.
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        assert sender.confirm([1], own_seq=1) == ["a"]
+        assert sender.prompt_confirms == 1
+        assert sender.late_confirms == 0
+
+    def test_mixed_prompt_and_late_confirms(self):
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        sender.defer(2, "b")
+        # The ACK for seq 2 piggybacks seq 1's receipt: seq 2 is prompt,
+        # seq 1 is late.
+        confirmed = sender.confirm([1, 2], own_seq=2)
+        assert sorted(confirmed) == ["a", "b"]
+        assert sender.prompt_confirms == 1
+        assert sender.late_confirms == 1
+
+    def test_counters_dict(self):
+        sender = SrSender(window_size=4)
+        sender.defer(1, "a")
+        sender.defer(2, "b")
+        sender.confirm([1], own_seq=1)
+        assert sender.counters() == {
+            "advances": 2,
+            "prompt_confirms": 1,
+            "late_confirms": 0,
+            "outstanding": 1,
+        }
+
     @given(st.lists(st.integers(0, 1000), unique=True, min_size=1, max_size=30))
     def test_every_deferred_item_leaves_exactly_once(self, seqs):
         # Invariant: defer -> (confirm | retransmit) exactly once; nothing

@@ -1,0 +1,165 @@
+"""The typed counter registry (repro.obs.counters)."""
+
+import pytest
+
+from repro.experiments.metrics import comap_counters, network_counters
+from repro.experiments.params import ns2_params
+from repro.net.network import Network
+from repro.obs.counters import (
+    Counter,
+    CounterRegistry,
+    Gauge,
+    Histogram,
+    diff_snapshot,
+)
+
+
+class TestMetricPrimitives:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_sets(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_streaming_summary(self):
+        h = Histogram("lat")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(15.0)
+        assert h.minimum == 2.0
+        assert h.maximum == 8.0
+        assert h.mean == pytest.approx(5.0)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.as_dict() == {"count": 0, "sum": 0.0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = CounterRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_collision_raises(self):
+        reg = CounterRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_flattens_histograms(self):
+        reg = CounterRegistry()
+        reg.counter("sent").inc(2)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["sent"] == 2
+        assert snap["depth"] == 7
+        assert snap["lat/count"] == 1
+        assert snap["lat/sum"] == 3.0
+        assert snap["lat/min"] == 3.0
+        assert snap["lat/max"] == 3.0
+
+    def test_sources_prefixed_and_summed(self):
+        # Several sources sharing a prefix aggregate per-name — exactly
+        # the per-network MAC-counter aggregation the metrics need.
+        reg = CounterRegistry()
+        reg.register_source("mac", lambda: {"tx": 2, "rx": 1})
+        reg.register_source("mac", lambda: {"tx": 3})
+        reg.register_source("", lambda: {"bare": 9})
+        assert reg.source_count == 3
+        snap = reg.snapshot()
+        assert snap["mac/tx"] == 5
+        assert snap["mac/rx"] == 1
+        assert snap["bare"] == 9
+
+    def test_source_overlapping_owned_metric_sums(self):
+        reg = CounterRegistry()
+        reg.counter("mac/tx").inc(10)
+        reg.register_source("mac", lambda: {"tx": 5})
+        assert reg.snapshot()["mac/tx"] == 15
+
+    def test_merge_snapshot_accumulates(self):
+        reg = CounterRegistry()
+        reg.merge_snapshot({"a": 2, "b": 1})
+        reg.merge_snapshot({"a": 3, "neg": -5, "zero": 0})
+        snap = reg.snapshot()
+        assert snap["a"] == 5
+        assert snap["b"] == 1
+        assert "neg" not in snap
+        assert "zero" not in snap
+
+    def test_merge_into_existing_gauge_and_histogram(self):
+        reg = CounterRegistry()
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(1.0)
+        reg.merge_snapshot({"depth": 3, "lat": 4.0})
+        snap = reg.snapshot()
+        assert snap["depth"] == 5
+        assert snap["lat/count"] == 2
+
+    def test_clear_and_len(self):
+        reg = CounterRegistry()
+        reg.counter("a")
+        reg.register_source("p", dict)
+        assert len(reg) == 2
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+
+class TestDiffSnapshot:
+    def test_positive_deltas_only(self):
+        before = {"a": 1, "b": 5, "gone": 2}
+        after = {"a": 4, "b": 5, "new": 7}
+        assert diff_snapshot(before, after) == {"a": 3, "new": 7}
+
+    def test_roundtrip_with_merge(self):
+        parent = CounterRegistry()
+        parent.merge_snapshot(diff_snapshot({"x": 1}, {"x": 6, "y": 2}))
+        snap = parent.snapshot()
+        assert snap == {"x": 5, "y": 2}
+
+
+class TestNetworkIntegration:
+    def run_network(self, mac_kind):
+        net = Network(ns2_params(), mac_kind=mac_kind, seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        c = net.add_client("C", 10, 0, ap=ap)
+        net.finalize()
+        net.add_saturated(c, ap)
+        net.run(0.1)
+        return net
+
+    def test_network_registers_all_layers(self):
+        net = self.run_network("comap")
+        snap = network_counters(net)
+        assert "comap/headers_sent" in snap
+        assert snap["mac/data_transmissions"] > 0
+        assert snap["channel/frames_sent"] > 0
+        assert snap["sim/events_fired"] > 0
+
+    def test_comap_counters_match_registry_namespace(self):
+        net = self.run_network("comap")
+        snap = network_counters(net)
+        derived = comap_counters(net)
+        assert derived  # non-empty for comap networks
+        for name, value in derived.items():
+            assert snap[f"comap/{name}"] == value
+
+    def test_dcf_network_has_mac_but_no_comap(self):
+        net = self.run_network("dcf")
+        snap = network_counters(net)
+        assert snap["mac/data_transmissions"] > 0
+        assert not any(key.startswith("comap/") for key in snap)

@@ -1,0 +1,179 @@
+"""Run manifests (repro.obs.manifest)."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments.parallel import SweepTask, run_tasks
+from repro.obs.manifest import (
+    MANIFEST_DIR_ENV,
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    RunManifest,
+    active_manifest_dir,
+    build_manifest,
+    current_git_sha,
+    jsonable,
+    load_manifest,
+    manifest_sink,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def make_manifest(**overrides):
+    base = dict(
+        label="fig1",
+        created_unix=1700000000.0,
+        wall_s=1.5,
+        jobs=2,
+        tasks=[{"key": ["fig1", 0], "seed": 3, "fingerprint": "abc"}],
+        params={"seed": 3},
+        seeds=[3],
+        counters={"mac/data_transmissions": 10},
+        trace_counts={"sweep/task_run": 1},
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+class TestWriteLoadValidate:
+    def test_round_trip(self, tmp_path):
+        manifest = make_manifest()
+        path = write_manifest(manifest, tmp_path)
+        assert os.path.basename(path) == "fig1.manifest.json"
+        loaded = load_manifest(path)
+        assert loaded == manifest
+
+    def test_written_document_carries_schema(self, tmp_path):
+        path = write_manifest(make_manifest(), tmp_path)
+        with open(path) as handle:
+            obj = json.load(handle)
+        assert obj["schema"] == MANIFEST_SCHEMA
+        assert obj["version"] == MANIFEST_SCHEMA_VERSION
+
+    def test_label_sanitized_for_filename(self, tmp_path):
+        path = write_manifest(make_manifest(label="fig 1/exposed"), tmp_path)
+        assert os.path.basename(path) == "fig_1_exposed.manifest.json"
+
+    def test_missing_field_rejected(self):
+        obj = make_manifest().to_dict()
+        del obj["seeds"]
+        with pytest.raises(ManifestError, match="seeds"):
+            validate_manifest(obj)
+
+    def test_wrong_type_rejected(self):
+        obj = make_manifest().to_dict()
+        obj["jobs"] = "two"
+        with pytest.raises(ManifestError, match="jobs"):
+            validate_manifest(obj)
+
+    def test_foreign_schema_rejected(self):
+        obj = make_manifest().to_dict()
+        obj["schema"] = "something.else"
+        with pytest.raises(ManifestError, match="not a repro.manifest"):
+            validate_manifest(obj)
+
+    def test_version_mismatch_rejected(self):
+        obj = make_manifest().to_dict()
+        obj["version"] = 99
+        with pytest.raises(ManifestError, match="version"):
+            validate_manifest(obj)
+
+    def test_task_without_fingerprint_rejected(self):
+        obj = make_manifest(tasks=[{"key": [1]}]).to_dict()
+        with pytest.raises(ManifestError, match="fingerprint"):
+            validate_manifest(obj)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text("not json")
+        with pytest.raises(ManifestError, match="unreadable"):
+            load_manifest(path)
+
+
+class TestSink:
+    def test_inactive_by_default(self, monkeypatch):
+        monkeypatch.delenv(MANIFEST_DIR_ENV, raising=False)
+        assert active_manifest_dir() is None
+
+    def test_env_knob(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(MANIFEST_DIR_ENV, str(tmp_path))
+        assert active_manifest_dir() == str(tmp_path)
+
+    def test_context_manager_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(MANIFEST_DIR_ENV, "/somewhere/else")
+        with manifest_sink(str(tmp_path)):
+            assert active_manifest_dir() == str(tmp_path)
+        assert active_manifest_dir() == "/somewhere/else"
+
+    def test_empty_sink_disables_writing(self, monkeypatch):
+        monkeypatch.setenv(MANIFEST_DIR_ENV, "/somewhere/else")
+        with manifest_sink(""):
+            assert active_manifest_dir() is None
+
+
+class TestProvenanceHelpers:
+    def test_current_git_sha_in_repo(self):
+        sha = current_git_sha(os.path.dirname(__file__))
+        # The repo is git-initialised; tolerate git being absent.
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_jsonable_scalars_pass_through(self):
+        assert jsonable(None) is None
+        assert jsonable(3) == 3
+        assert jsonable("x") == "x"
+
+    def test_jsonable_dataclass(self):
+        @dataclasses.dataclass
+        class Cfg:
+            radius: float = 10.0
+
+        out = jsonable({"error_model": Cfg(), "seeds": (1, 2)})
+        assert out["error_model"]["radius"] == 10.0
+        assert out["error_model"]["__type__"].endswith("Cfg")
+        assert out["seeds"] == [1, 2]
+        json.dumps(out)  # must always be serializable
+
+    def test_jsonable_callable_and_fallback(self):
+        out = jsonable(make_manifest)
+        assert "make_manifest" in out
+        assert isinstance(jsonable(object()), str)
+
+
+def _square(x: int, seed: int = 0) -> int:
+    return x * x
+
+
+class TestRunTasksIntegration:
+    def tasks(self):
+        return [
+            SweepTask(fn=_square, kwargs={"x": x, "seed": 10 + x}, key=("sq", x))
+            for x in range(3)
+        ]
+
+    def test_sweep_writes_validated_manifest(self, tmp_path):
+        with manifest_sink(str(tmp_path)):
+            results = run_tasks(self.tasks(), jobs=1, label="unit_sweep")
+        assert results == [0, 1, 4]
+        manifest = load_manifest(tmp_path / "unit_sweep.manifest.json")
+        assert manifest.label == "unit_sweep"
+        assert manifest.jobs == 1
+        assert manifest.seeds == [10, 11, 12]
+        assert [t["key"] for t in manifest.tasks] == [["sq", 0], ["sq", 1], ["sq", 2]]
+        assert all(len(t["fingerprint"]) == 64 for t in manifest.tasks)
+        assert manifest.wall_s >= 0
+
+    def test_no_sink_no_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(MANIFEST_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        run_tasks(self.tasks(), jobs=1, label="quiet")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_knob_routes_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MANIFEST_DIR_ENV, str(tmp_path))
+        run_tasks(self.tasks(), jobs=1, label="env_sweep")
+        assert (tmp_path / "env_sweep.manifest.json").exists()

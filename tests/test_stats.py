@@ -92,6 +92,16 @@ class TestMeanGain:
         with pytest.raises(ValueError):
             mean_gain([0.0], [1.0])
 
+    def test_empty_inputs_rejected(self):
+        # Regression: np.mean([]) is NaN, which sailed past the
+        # positive-baseline check and returned NaN instead of raising.
+        with pytest.raises(ValueError):
+            mean_gain([], [])
+        with pytest.raises(ValueError):
+            mean_gain([1.0], [])
+        with pytest.raises(ValueError):
+            mean_gain([], [1.0])
+
 
 class TestSummarize:
     def test_summary_fields(self):

@@ -1,6 +1,8 @@
 """The trace recorder."""
 
-from repro.sim.trace import TraceRecorder
+import pytest
+
+from repro.sim.trace import TRACE_ENV, TraceEvent, TraceRecorder, configure_from_env
 
 
 class TestTraceRecorder:
@@ -63,3 +65,95 @@ class TestTraceRecorder:
         assert not trace  # empty -> falsy
         trace.record("a", "x")
         assert trace
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = TraceRecorder(["a"])
+        assert trace.max_events is None
+        for i in range(1000):
+            trace.record("a", "x", i=i)
+        assert len(trace) == 1000
+        assert trace.dropped_events == 0
+
+    def test_cap_evicts_oldest_and_counts_drops(self):
+        # Regression: _events grew without bound; the cap must keep the
+        # newest records and make the truncation visible.
+        trace = TraceRecorder(["a"], max_events=3)
+        for i in range(5):
+            trace.record("a", "x", i=i)
+        assert len(trace) == 3
+        assert trace.dropped_events == 2
+        assert [e.get("i") for e in trace.events()] == [2, 3, 4]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+        with pytest.raises(ValueError):
+            TraceRecorder().set_max_events(-1)
+
+    def test_shrink_counts_dropped(self):
+        trace = TraceRecorder(["a"])
+        for i in range(5):
+            trace.record("a", "x", i=i)
+        trace.set_max_events(2)
+        assert len(trace) == 2
+        assert trace.dropped_events == 3
+        assert [e.get("i") for e in trace.events()] == [3, 4]
+
+    def test_grow_and_uncap_keep_events(self):
+        trace = TraceRecorder(["a"], max_events=2)
+        trace.record("a", "x")
+        trace.set_max_events(None)
+        assert trace.max_events is None
+        assert len(trace) == 1
+        assert trace.dropped_events == 0
+
+    def test_counts_reflect_only_retained_events(self):
+        trace = TraceRecorder(["a"], max_events=2)
+        trace.record("a", "old")
+        trace.record("a", "new")
+        trace.record("a", "new")
+        assert trace.counts() == {"a/new": 2}
+
+
+class TestMerge:
+    def test_merge_bypasses_filter_and_keeps_timestamps(self):
+        # Worker events were filtered by the worker's recorder; the
+        # parent must accept them even without the category enabled.
+        parent = TraceRecorder()
+        events = [TraceEvent(time=7, category="sweep", name="task_run")]
+        assert parent.merge(events) == 1
+        assert parent.events()[0].time == 7
+        assert parent.events()[0].category == "sweep"
+
+    def test_merge_respects_ring_cap(self):
+        parent = TraceRecorder(max_events=2)
+        events = [TraceEvent(time=t, category="s", name="e") for t in range(4)]
+        assert parent.merge(events) == 4
+        assert len(parent) == 2
+        assert parent.dropped_events == 2
+        assert [e.time for e in parent.events()] == [2, 3]
+
+
+class TestConfigureFromEnv:
+    def test_unset_enables_nothing(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        trace = configure_from_env(TraceRecorder())
+        assert not trace.wants("sweep")
+
+    def test_zero_enables_nothing(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "0")
+        assert not configure_from_env(TraceRecorder()).wants("sweep")
+
+    def test_one_is_sweep_shorthand(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "1")
+        trace = configure_from_env(TraceRecorder())
+        assert trace.wants("sweep")
+        assert not trace.wants("mac")
+
+    def test_comma_separated_list(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "sweep, mac")
+        trace = configure_from_env(TraceRecorder())
+        assert trace.wants("sweep")
+        assert trace.wants("mac")
