@@ -53,7 +53,6 @@ when disabled: one env lookup and a handful of perf-counter reads per
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -68,6 +67,7 @@ from repro.obs import manifest as obs_manifest
 from repro.obs.counters import diff_snapshot, global_registry
 from repro.obs.trace_io import events_from_payload, events_to_payload
 from repro.sim.trace import configure_from_env, global_recorder
+from repro.util.rng import _canonical, derive_seed
 
 #: Environment knob: worker-process count for sweep execution.
 JOBS_ENV = "REPRO_JOBS"
@@ -81,67 +81,10 @@ TRACE_ENV = "REPRO_TRACE_SWEEP"
 #: Bump when the cache payload format (not the keyed content) changes.
 CACHE_VERSION = 1
 
-_SEED_BITS = 63
-
-
-# ----------------------------------------------------------------------
-# Seed streams
-# ----------------------------------------------------------------------
-def derive_seed(base_seed: int, *key: Any) -> int:
-    """A collision-free task seed from ``(base_seed, *key)``.
-
-    The key tuple is canonically encoded and hashed with SHA-256, then
-    folded to a non-negative 63-bit integer.  Unlike ``hash()`` this is
-    stable across processes, platforms, and Python versions, and unlike
-    arithmetic schemes (``seed + 1000 * rep``) distinct keys cannot
-    collide for any realistic grid size (a collision needs ~2^31 tasks).
-    """
-    payload = _canonical((int(base_seed),) + tuple(key))
-    digest = hashlib.sha256(payload).digest()
-    return int.from_bytes(digest[:8], "big") & ((1 << _SEED_BITS) - 1)
-
-
-def _canonical(value: Any) -> bytes:
-    """A byte encoding of ``value`` that is stable across runs/platforms."""
-    return _canon_str(value).encode("utf-8")
-
-
-def _canon_str(value: Any) -> str:
-    if isinstance(value, bool):  # before int: bool is an int subclass
-        return f"b:{value}"
-    if isinstance(value, int):
-        return f"i:{value}"
-    if isinstance(value, float):
-        # repr() is the shortest round-trip form — identical on every
-        # IEEE-754 platform supported by CPython >= 3.1.
-        return f"f:{value!r}"
-    if isinstance(value, str):
-        return f"s:{len(value)}:{value}"
-    if value is None:
-        return "n"
-    if isinstance(value, (list, tuple)):
-        inner = ",".join(_canon_str(v) for v in value)
-        return f"t:[{inner}]"
-    if isinstance(value, dict):
-        inner = ",".join(
-            f"{_canon_str(k)}={_canon_str(v)}" for k, v in sorted(value.items())
-        )
-        return f"d:{{{inner}}}"
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        body = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
-        return f"dc:{type(value).__qualname__}:{_canon_str(body)}"
-    if callable(value):
-        module = getattr(value, "__module__", "?")
-        name = getattr(value, "__qualname__", repr(value))
-        return f"fn:{module}.{name}"
-    if hasattr(value, "__dict__"):
-        # Plain config objects (e.g. error models, RateTable): class name
-        # plus instance attributes.
-        return f"obj:{type(value).__qualname__}:{_canon_str(vars(value))}"
-    raise TypeError(
-        f"cannot canonically encode {type(value).__qualname__!r} for "
-        f"seed/cache derivation"
-    )
+# ``derive_seed`` (and its canonical encoding) lives in
+# :mod:`repro.util.rng` so the PHY layer can key per-link shadowing
+# substreams with the same machinery; it is re-exported here because
+# every runner, bench, and test imports it from this module.
 
 
 # ----------------------------------------------------------------------

@@ -107,6 +107,10 @@ class CoMapStats:
     #: from ``sr_late_confirms`` so that counter means what its name
     #: says: frames rescued by a later ACK's piggybacked sequence list.
     sr_prompt_confirms: int = 0
+    #: (N_ht, c) -> (CW, payload) re-lookups this MAC performed.  Position
+    #: reports refresh only the MACs that observed the move, so this
+    #: counter is how tests assert unrelated MACs stay untouched.
+    adaptation_refreshes: int = 0
 
     def as_counter_dict(self) -> Dict[str, int]:
         """Registry-source view (all fields are scalar counters)."""
@@ -191,6 +195,7 @@ class CoMapMac(DcfMac):
             return None
         if not receivers:
             return None
+        self.comap_stats.adaptation_refreshes += 1
         hidden = contenders = 0
         for receiver in receivers:
             h, c = self.agent.link_counts(receiver)

@@ -144,6 +144,11 @@ class Network:
         self._run_duration_ns = 0
         self._adaptation_table: Optional[AdaptationTable] = None
         self._reported_positions: Dict[int, Point] = {}
+        # Mobility-driven adaptation refreshes are filtered (only MACs
+        # whose neighbor tables observed the move) and coalesced (one
+        # refresh pass per sim-time instant) — see _mark_adaptation_dirty.
+        self._dirty_adaptation: set = set()
+        self._adaptation_drain_pending = False
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -167,6 +172,7 @@ class Network:
                 trace=self.trace,
                 band=band,
                 registry=self.registry,
+                cull_margin_db=getattr(self.params, "cull_margin_db", None),
             )
             self._channels[band] = channel
         return channel
@@ -389,15 +395,57 @@ class Network:
     def _refresh_all_adaptation(self) -> None:
         """Re-run the (N_ht, c) -> (CW, payload) lookup on every CO-MAP MAC."""
         for node in self.nodes.values():
-            if not isinstance(node.mac, CoMapMac):
+            self._refresh_node_adaptation(node)
+
+    def _refresh_node_adaptation(self, node: Node) -> None:
+        """Re-run the (N_ht, c) -> (CW, payload) lookup on one MAC."""
+        if not isinstance(node.mac, CoMapMac):
+            return
+        if node.is_ap:
+            receivers = [client.node_id for client in node.clients]
+        elif node.associated_ap is not None:
+            receivers = [node.associated_ap.node_id]
+        else:
+            receivers = []
+        node.mac.refresh_adaptation(receivers)
+
+    def _mark_adaptation_dirty(self, moved: Node) -> None:
+        """Queue adaptation refreshes caused by ``moved``'s position report.
+
+        Only MACs whose neighbor tables actually observed the move — the
+        CO-MAP agents sharing ``moved``'s frequency band — are affected;
+        MACs on orthogonal bands never learn the position and their
+        (N_ht, c) estimates cannot change, so they are not touched (the
+        old behavior refreshed every MAC in the network on every accepted
+        report, making dense mobility O(N²) per tick).
+
+        While the simulator is running, refreshes are additionally
+        coalesced to one pass per sim-time instant: the drain runs as a
+        zero-delay event, after every same-instant report has updated the
+        neighbor tables, so K same-tick reports cost one refresh per
+        affected MAC instead of K.
+        """
+        for node in self.nodes.values():
+            if node.agent is None or node.band != moved.band:
                 continue
-            if node.is_ap:
-                receivers = [client.node_id for client in node.clients]
-            elif node.associated_ap is not None:
-                receivers = [node.associated_ap.node_id]
-            else:
-                receivers = []
-            node.mac.refresh_adaptation(receivers)
+            if moved.node_id in node.agent.neighbor_table:
+                self._dirty_adaptation.add(node.node_id)
+        if not self._dirty_adaptation:
+            return
+        if not self.sim.running:
+            self._drain_adaptation_refresh()
+        elif not self._adaptation_drain_pending:
+            self._adaptation_drain_pending = True
+            self.sim.schedule(0, self._drain_adaptation_refresh)
+
+    def _drain_adaptation_refresh(self) -> None:
+        """Refresh every MAC marked dirty since the last drain."""
+        self._adaptation_drain_pending = False
+        dirty, self._dirty_adaptation = self._dirty_adaptation, set()
+        for node_id in sorted(dirty):
+            node = self.nodes.get(node_id)
+            if node is not None:
+                self._refresh_node_adaptation(node)
 
     def update_node_position(self, node: Node, position: Point) -> bool:
         """Move a node; re-report if the move exceeds the threshold.
@@ -425,7 +473,7 @@ class Network:
                 now=self.sim.now,
             )
         node.agent.mark_reported(reported)
-        self._refresh_all_adaptation()
+        self._mark_adaptation_dirty(node)
         return True
 
     def location_overhead_bytes(self) -> int:

@@ -19,11 +19,40 @@ Shadowing modes
     topologies.
 ``none``
     Pure deterministic path loss.
+
+Per-link RNG substreams
+-----------------------
+
+Shadowing draws come from a *per-(transmitter, receiver)* generator,
+keyed through :meth:`repro.util.rng.RngStreams.substream` with the same
+SHA-256 :func:`~repro.util.rng.derive_seed` derivation the parallel
+sweep executor uses for task seeds.  Each ordered pair owns an
+independent counter-based stream, so consuming (or *skipping*) draws on
+one link can never perturb any other link's randomness.  That
+independence is the precondition for below-floor culling: a culled
+link's draw is simply never taken, and every other link still sees
+exactly the sequence it would have seen in an exhaustive run.
+
+Below-floor interference culling
+--------------------------------
+
+For every (sender, receiver) pair the channel caches the deterministic
+mean received power (path loss only — invalidated per radio on
+:meth:`repro.phy.radio.Radio.move_to`).  When that mean sits more than
+``cull_margin_db`` below **both** the receiver's noise floor and its
+carrier-sense threshold, the receiver is skipped entirely for that
+frame: no shadowing draw, no ``rx_power_mw`` entry, and neither the
+``on_air_start`` nor the ``on_air_end`` event is scheduled.  The margin
+defaults to 6σ of the shadowing model (20 dB when σ = 0), can be set
+explicitly via the ``REPRO_CULL_MARGIN_DB`` environment knob, and
+``REPRO_CULL_MARGIN_DB=off`` restores the old exhaustive path.  Culled
+notifications are counted in the ``channel/culled_links`` counter.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
 
 from repro.phy.propagation import LogNormalShadowing
 from repro.sim.engine import Simulator
@@ -34,9 +63,95 @@ from repro.util.units import dbm_to_mw
 if TYPE_CHECKING:  # avoid a phy <-> mac import cycle; hints only
     from repro.mac.frames import Frame
     from repro.mac.timing import PhyTiming
+    from repro.phy.radio import Radio
 
 #: Valid values for the channel's ``shadowing_mode``.
 SHADOWING_MODES = ("per_frame", "per_link", "none")
+
+#: Environment knob: culling margin in dB, or ``off`` for the exhaustive path.
+CULL_MARGIN_ENV = "REPRO_CULL_MARGIN_DB"
+
+#: Default margin as a multiple of the shadowing sigma.
+CULL_SIGMA_FACTOR = 6.0
+
+#: Default margin (dB) when the propagation model has no shadowing term.
+#: With σ = 0 there is no randomness to guard against, but culled links
+#: still drop their (deterministic) interference energy; 20 dB keeps each
+#: culled contribution at ≤ 1 % of the receiver's noise floor.
+CULL_DETERMINISTIC_MARGIN_DB = 20.0
+
+
+def resolve_cull_margin_db(
+    sigma_db: float, override: Union[float, str, None] = None
+) -> Optional[float]:
+    """Resolve the culling margin: explicit override > env knob > default.
+
+    Returns the margin in dB, or ``None`` when culling is disabled
+    (``"off"``, case-insensitive, or any negative value).  With no
+    override and no ``REPRO_CULL_MARGIN_DB`` in the environment, the
+    default is ``6 * sigma_db`` (``20`` dB for a shadowing-free model).
+    """
+    value: Union[float, str, None] = override
+    if value is None:
+        raw = os.environ.get(CULL_MARGIN_ENV, "").strip()
+        if raw:
+            value = raw
+        elif sigma_db > 0.0:
+            return CULL_SIGMA_FACTOR * float(sigma_db)
+        else:
+            return CULL_DETERMINISTIC_MARGIN_DB
+    if isinstance(value, str):
+        if value.lower() == "off":
+            return None
+        value = float(value)  # a malformed knob should fail loudly
+    margin = float(value)
+    return None if margin < 0.0 else margin
+
+
+class _PairCache:
+    """``(tx_id, rx_id) -> float`` cache with O(degree) invalidation.
+
+    A secondary index maps each radio id to the set of cached keys it
+    participates in, so :meth:`invalidate` (called on every
+    ``Radio.move_to``) touches only that radio's links instead of
+    scanning the whole table — mobility ticks stay O(N) rather than
+    degrading quadratically with the link count.
+    """
+
+    __slots__ = ("_values", "_by_radio")
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple[int, int], float] = {}
+        self._by_radio: Dict[int, Set[Tuple[int, int]]] = {}
+
+    def get(self, key: Tuple[int, int]) -> Optional[float]:
+        return self._values.get(key)
+
+    def put(self, key: Tuple[int, int], value: float) -> None:
+        self._values[key] = value
+        for radio_id in key:
+            self._by_radio.setdefault(radio_id, set()).add(key)
+
+    def invalidate(self, radio_id: int) -> int:
+        """Drop every cached entry involving ``radio_id``; returns the count."""
+        keys = self._by_radio.pop(radio_id, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            if self._values.pop(key, None) is not None:
+                dropped += 1
+            for other in key:
+                if other != radio_id:
+                    peers = self._by_radio.get(other)
+                    if peers is not None:
+                        peers.discard(key)
+                        if not peers:
+                            del self._by_radio[other]
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._values)
 
 
 class Transmission:
@@ -50,6 +165,8 @@ class Transmission:
         self.start_ns = start_ns
         self.end_ns = end_ns
         #: Received power in mW at each listening radio, keyed by radio id.
+        #: Radios culled below the noise floor have no entry — this dict is
+        #: the authoritative set of radios that observe the transmission.
         self.rx_power_mw: Dict[int, float] = {}
 
     @property
@@ -75,6 +192,7 @@ class Channel:
         band: int = 0,
         air_latency_ns: int = 1_000,
         registry=None,
+        cull_margin_db: Union[float, str, None] = None,
     ) -> None:
         if shadowing_mode not in SHADOWING_MODES:
             raise ValueError(
@@ -102,12 +220,21 @@ class Channel:
         # falsy), so test identity explicitly.
         self.trace = trace if trace is not None else TraceRecorder()
         self.trace.bind_clock(lambda: sim.now)
-        self._rng = rngs.stream("shadowing", band)
+        self._rngs = rngs
+        #: Resolved culling margin in dB, or None for the exhaustive path.
+        self.cull_margin_db = resolve_cull_margin_db(
+            propagation.sigma_db, cull_margin_db
+        )
         self._radios: List["Radio"] = []
+        self._radios_by_id: Dict[int, "Radio"] = {}
         self._active: List[Transmission] = []
-        self._link_shadowing_db: Dict[tuple, float] = {}
+        #: Cached per-link shadowing offsets (``per_link`` mode only).
+        self._link_shadowing_db = _PairCache()
+        #: Cached deterministic mean received power per (tx, rx) pair.
+        self._mean_rx_dbm_cache = _PairCache()
         #: Counters for diagnostics and tests.
         self.frames_sent = 0
+        self.links_culled = 0
         if registry is not None:
             self.register_counters(registry)
 
@@ -115,26 +242,47 @@ class Channel:
         """Expose medium-level counters under the ``channel`` prefix.
 
         Per-band channels share the prefix, so a multi-band network's
-        snapshot reports medium-wide totals.
+        snapshot reports medium-wide totals (``cull_margin_db`` included:
+        with several bands the snapshot sums the per-band margins, so
+        divide by ``len(network.channels)`` to recover the setting).
         """
         registry.register_source("channel", self.counters)
 
-    def counters(self) -> Dict[str, int]:
-        """Registry-source view of this band's counters."""
+    def counters(self) -> Dict[str, float]:
+        """Registry-source view of this band's counters.
+
+        ``culled_links`` counts per-radio notifications skipped by
+        below-floor culling; ``cull_margin_db`` is the resolved margin
+        (``-1.0`` when culling is off).
+        """
         return {
             "frames_sent": self.frames_sent,
             "active_transmissions": len(self._active),
             "radios": len(self._radios),
+            "culled_links": self.links_culled,
+            "cull_margin_db": (
+                self.cull_margin_db if self.cull_margin_db is not None else -1.0
+            ),
         }
 
     # ------------------------------------------------------------------
     # Topology management
     # ------------------------------------------------------------------
     def attach(self, radio: "Radio") -> None:
-        """Register a radio with the medium."""
-        if any(r.radio_id == radio.radio_id for r in self._radios):
+        """Register a radio with the medium.
+
+        Mid-run attach contract: a radio attached while transmissions are
+        in flight does **not** observe them — it receives no retroactive
+        ``on_air_start`` (its CCA never saw the frame begin) and, because
+        end-of-air is delivered only to radios keyed in the transmission's
+        ``rx_power_mw``, no spurious ``on_air_end`` either.  It starts
+        participating with the first transmission that begins after the
+        attach.
+        """
+        if radio.radio_id in self._radios_by_id:
             raise ValueError(f"duplicate radio id {radio.radio_id}")
         self._radios.append(radio)
+        self._radios_by_id[radio.radio_id] = radio
 
     @property
     def radios(self) -> List["Radio"]:
@@ -146,12 +294,20 @@ class Channel:
 
         Only meaningful in ``per_link`` mode: a moved radio's old draws
         describe paths that no longer exist.  Returns how many entries
-        were dropped.  (:meth:`repro.phy.radio.Radio.move_to` calls this.)
+        were dropped.  The cache is indexed per radio, so this is
+        O(degree of the radio), not O(all cached links).
         """
-        doomed = [key for key in self._link_shadowing_db if radio_id in key]
-        for key in doomed:
-            del self._link_shadowing_db[key]
-        return len(doomed)
+        return self._link_shadowing_db.invalidate(radio_id)
+
+    def on_radio_moved(self, radio_id: int) -> None:
+        """Invalidate everything position-dependent for ``radio_id``.
+
+        Called by :meth:`repro.phy.radio.Radio.move_to`: drops the
+        radio's cached mean-power entries (they encode the old distance)
+        and its per-link shadowing draws.
+        """
+        self._mean_rx_dbm_cache.invalidate(radio_id)
+        self._link_shadowing_db.invalidate(radio_id)
 
     @property
     def active_transmissions(self) -> List[Transmission]:
@@ -165,37 +321,62 @@ class Channel:
         """Put ``frame`` on the air from ``sender``; returns the record.
 
         Called by :meth:`repro.phy.radio.Radio.start_transmission` only.
+        Radios whose mean received power sits ``cull_margin_db`` below
+        both their noise floor and their carrier-sense threshold are
+        skipped entirely (no draw, no ``rx_power_mw`` entry, no events).
         """
         duration = self.timing.frame_airtime_ns(frame)
         tx = Transmission(frame, sender, self.sim.now, self.sim.now + duration)
         self._active.append(tx)
         self.frames_sent += 1
-        if self.trace.wants("channel"):
-            self.trace.record(
-                "channel", "tx-start", frame=frame.describe(), sender=sender.radio_id
-            )
+        margin = self.cull_margin_db
+        latency = self.air_latency_ns
+        schedule = self.sim.schedule
+        culled = 0
         for radio in self._radios:
             if radio is sender:
                 continue
+            if margin is not None:
+                mean_dbm = self._mean_rx_dbm(sender, radio)
+                config = radio.config
+                if (
+                    mean_dbm + margin < config.noise_floor_dbm
+                    and mean_dbm + margin < config.cs_threshold_dbm
+                ):
+                    culled += 1
+                    continue
             power_mw = self._received_power_mw(sender, radio, frame)
             tx.rx_power_mw[radio.radio_id] = power_mw
-            if self.air_latency_ns:
-                self.sim.schedule(self.air_latency_ns, radio.on_air_start, tx, power_mw)
+            if latency:
+                schedule(latency, radio.on_air_start, tx, power_mw)
             else:
                 radio.on_air_start(tx, power_mw)
+        self.links_culled += culled
+        if self.trace.wants("channel"):
+            self.trace.record(
+                "channel", "tx-start",
+                frame=frame.describe(), sender=sender.radio_id, culled=culled,
+            )
         self.sim.schedule(duration, self._end_transmission, tx)
         return tx
 
     def _end_transmission(self, tx: Transmission) -> None:
-        """Remove a finished transmission and notify every radio."""
+        """Remove a finished transmission and notify its observers.
+
+        Only radios keyed in ``tx.rx_power_mw`` — the ones that received
+        ``on_air_start`` — are notified.  Radios culled at transmit time
+        and radios attached while the frame was in flight never hear
+        about it (see :meth:`attach` for the mid-run attach contract).
+        """
         self._active.remove(tx)
         if self.trace.wants("channel"):
             self.trace.record("channel", "tx-end", frame=tx.frame.describe())
-        for radio in self._radios:
-            if radio is tx.sender:
-                continue
-            if self.air_latency_ns:
-                self.sim.schedule(self.air_latency_ns, radio.on_air_end, tx)
+        latency = self.air_latency_ns
+        radios_by_id = self._radios_by_id
+        for radio_id in tx.rx_power_mw:
+            radio = radios_by_id[radio_id]
+            if latency:
+                self.sim.schedule(latency, radio.on_air_end, tx)
             else:
                 radio.on_air_end(tx)
         tx.sender.on_own_tx_end(tx)
@@ -203,20 +384,46 @@ class Channel:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
+    def _mean_rx_dbm(self, sender: "Radio", receiver: "Radio") -> float:
+        """Deterministic mean received power, cached per (tx, rx) pair.
+
+        The cache assumes positions and transmit powers only change via
+        :meth:`repro.phy.radio.Radio.move_to`, which invalidates the
+        moved radio's entries through :meth:`on_radio_moved`.
+        """
+        key = (sender.radio_id, receiver.radio_id)
+        mean = self._mean_rx_dbm_cache.get(key)
+        if mean is None:
+            dist = sender.position.distance_to(receiver.position)
+            mean = self.propagation.mean_rx_dbm(sender.config.tx_power_dbm, dist)
+            self._mean_rx_dbm_cache.put(key, mean)
+        return mean
+
+    def _link_rng(self, tx_id: int, rx_id: int):
+        """The ordered pair's private shadowing generator.
+
+        Seeded via ``derive_seed(root, "shadowing", band, tx, rx)``, so
+        the stream depends only on the link's identity — never on how
+        many draws other links consumed or whether they were culled.
+        """
+        return self._rngs.substream("shadowing", self.band, tx_id, rx_id)
+
     def _received_power_mw(self, sender: "Radio", receiver: "Radio", frame: "Frame") -> float:
         """Draw the received power of this frame at ``receiver``."""
-        dist = sender.position.distance_to(receiver.position)
-        tx_dbm = sender.config.tx_power_dbm
+        mean_dbm = self._mean_rx_dbm(sender, receiver)
         if self.shadowing_mode == "none":
-            rx_dbm = self.propagation.mean_rx_dbm(tx_dbm, dist)
+            rx_dbm = mean_dbm
         elif self.shadowing_mode == "per_link":
             key = (sender.radio_id, receiver.radio_id)
             offset = self._link_shadowing_db.get(key)
             if offset is None:
-                sigma = self.propagation.sigma_db
-                offset = float(self._rng.normal(0.0, sigma)) if sigma > 0 else 0.0
-                self._link_shadowing_db[key] = offset
-            rx_dbm = self.propagation.mean_rx_dbm(tx_dbm, dist) + offset
+                offset = self.propagation.shadowing_db(
+                    self._link_rng(sender.radio_id, receiver.radio_id)
+                )
+                self._link_shadowing_db.put(key, offset)
+            rx_dbm = mean_dbm + offset
         else:  # per_frame
-            rx_dbm = self.propagation.sample_rx_dbm(tx_dbm, dist, self._rng)
+            rx_dbm = mean_dbm + self.propagation.shadowing_db(
+                self._link_rng(sender.radio_id, receiver.radio_id)
+            )
         return dbm_to_mw(rx_dbm)

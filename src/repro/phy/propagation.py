@@ -100,6 +100,15 @@ class LogNormalShadowing:
         """Expected received power (no shadowing draw) in dBm."""
         return tx_power_dbm - self.path_loss_db(distance_m)
 
+    def shadowing_db(self, rng: np.random.Generator) -> float:
+        """One shadowing realization ``X_sigma`` in dB (0.0 when sigma is 0).
+
+        Split out from :meth:`sample_rx_dbm` so callers that cache the
+        deterministic mean (the channel's per-pair path-loss cache) can
+        add a fresh draw without recomputing the distance term.
+        """
+        return float(rng.normal(0.0, self.sigma_db)) if self.sigma_db > 0.0 else 0.0
+
     def sample_rx_dbm(
         self,
         tx_power_dbm: float,
@@ -107,8 +116,7 @@ class LogNormalShadowing:
         rng: np.random.Generator,
     ) -> float:
         """Received power with one shadowing realization ``X_sigma`` drawn."""
-        shadowing = rng.normal(0.0, self.sigma_db) if self.sigma_db > 0.0 else 0.0
-        return self.mean_rx_dbm(tx_power_dbm, distance_m) + shadowing
+        return self.mean_rx_dbm(tx_power_dbm, distance_m) + self.shadowing_db(rng)
 
     def range_for_rx_dbm(self, tx_power_dbm: float, rx_dbm: float) -> float:
         """Distance at which the *mean* received power equals ``rx_dbm``.

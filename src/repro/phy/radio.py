@@ -105,11 +105,14 @@ class Radio:
     def move_to(self, position: Point) -> None:
         """Update the radio's physical position (mobility support).
 
-        Cached per-link shadowing draws to/from this radio describe paths
-        that no longer exist, so they are dropped.
+        Cached position-dependent channel state involving this radio —
+        per-link shadowing draws and the deterministic path-loss cache
+        that drives below-floor culling — describes paths that no longer
+        exist, so it is dropped (via a per-radio index: O(degree), not
+        O(all links)).
         """
         self.position = position
-        self.channel.invalidate_link_shadowing(self.radio_id)
+        self.channel.on_radio_moved(self.radio_id)
 
     # ------------------------------------------------------------------
     # State queries
@@ -184,7 +187,11 @@ class Radio:
                     interference = self.energy_mw() - power_mw
                     self._lock = _ReceptionLock(tx, power_mw, interference)
                     self._maybe_schedule_embedded_decode(self._lock)
-                else:
+                elif power_mw >= self._noise_mw:
+                    # Detectable but undecodable: a genuine miss.  Frames
+                    # below the noise floor are invisible to a real radio
+                    # and are not counted — keeping this counter identical
+                    # whether or not below-floor culling skipped them.
                     self.frames_missed += 1
             elif self.config.capture and self._captures_over_lock(tx, power_mw):
                 # Message-in-message capture: the new frame drowns out the

@@ -102,6 +102,17 @@ class Simulator:
         return self._events_fired
 
     @property
+    def running(self) -> bool:
+        """True while :meth:`run` is executing events.
+
+        Lets callers distinguish "called from inside an event callback"
+        (defer follow-up work with a zero-delay event) from "called
+        between runs" (do it synchronously — a deferred event would not
+        fire until the next ``run``).
+        """
+        return self._running
+
+    @property
     def pending_events(self) -> int:
         """Number of scheduled-and-live events still in the queue."""
         return sum(1 for handle in self._queue if not handle.cancelled)

@@ -76,6 +76,7 @@ def build_phy_world(
     shadowing_mode: str = "none",
     seed: int = 0,
     capture: bool = True,
+    cull_margin_db=None,
 ) -> PhyWorld:
     """Create radios at ``positions`` with stub MACs on one channel."""
     sim = Simulator()
@@ -85,6 +86,7 @@ def build_phy_world(
         timing=OFDM_TIMING,
         rngs=RngStreams(seed),
         shadowing_mode=shadowing_mode,
+        cull_margin_db=cull_margin_db,
     )
     radios, macs = [], []
     for i, (x, y) in enumerate(positions):

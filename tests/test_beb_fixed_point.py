@@ -100,7 +100,14 @@ class TestGoodput:
             for client in clients:
                 net.add_saturated(client, ap, payload_bytes=1000)
             results = net.run(1.0)
-            measured = results.goodput_bps(clients[0].node_id, ap.node_id)
+            # The stations are symmetric, so every flow estimates the same
+            # per-station prediction; averaging over all of them cuts the
+            # single-flow sampling noise (~±15% at n=6 over a 1 s run) to
+            # well inside the model-error tolerances asserted here.
+            measured = sum(
+                results.goodput_bps(client.node_id, ap.node_id)
+                for client in clients
+            ) / len(clients)
             assert measured == pytest.approx(predicted, rel=tolerance)
 
 

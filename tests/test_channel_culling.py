@@ -1,0 +1,378 @@
+"""Below-floor interference culling and per-link RNG substreams.
+
+Covers the channel hot-path overhaul:
+
+* margin resolution (explicit > ``REPRO_CULL_MARGIN_DB`` env > default);
+* the indexed pair cache that makes mobility invalidation O(degree);
+* culling behavior: skipped draws, skipped events, counters;
+* the mid-run-attach contract (no spurious ``on_air_end``);
+* RNG isolation: per-link substreams mean culling (or extra radios)
+  cannot perturb the randomness any surviving link sees;
+* end-to-end equivalence: culling-on and culling-off produce identical
+  per-node results on the paper's Fig. 8 / Fig. 10 topologies (where
+  nothing is in cull range) and on a sparse multi-cell network where
+  culling actually fires.
+"""
+
+import pytest
+
+from repro.experiments.params import ns2_params, testbed_params
+from repro.experiments.topologies import (
+    exposed_terminal_topology,
+    office_floor_topology,
+)
+from repro.net.network import Network
+from repro.phy.channel import (
+    CULL_DETERMINISTIC_MARGIN_DB,
+    CULL_MARGIN_ENV,
+    CULL_SIGMA_FACTOR,
+    _PairCache,
+    resolve_cull_margin_db,
+)
+from repro.phy.radio import Radio, RadioConfig
+from repro.util.geometry import Point
+
+from tests.conftest import StubMac, build_phy_world
+
+
+# ----------------------------------------------------------------------
+# Margin resolution
+# ----------------------------------------------------------------------
+class TestMarginResolution:
+    def test_default_is_six_sigma(self, monkeypatch):
+        monkeypatch.delenv(CULL_MARGIN_ENV, raising=False)
+        assert resolve_cull_margin_db(5.0) == CULL_SIGMA_FACTOR * 5.0
+
+    def test_default_without_shadowing(self, monkeypatch):
+        monkeypatch.delenv(CULL_MARGIN_ENV, raising=False)
+        assert resolve_cull_margin_db(0.0) == CULL_DETERMINISTIC_MARGIN_DB
+
+    def test_env_knob_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(CULL_MARGIN_ENV, "12.5")
+        assert resolve_cull_margin_db(5.0) == 12.5
+
+    def test_env_off_disables(self, monkeypatch):
+        monkeypatch.setenv(CULL_MARGIN_ENV, "off")
+        assert resolve_cull_margin_db(5.0) is None
+        monkeypatch.setenv(CULL_MARGIN_ENV, "OFF")
+        assert resolve_cull_margin_db(0.0) is None
+
+    def test_explicit_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(CULL_MARGIN_ENV, "12.5")
+        assert resolve_cull_margin_db(5.0, 7.0) == 7.0
+        assert resolve_cull_margin_db(5.0, "off") is None
+
+    def test_negative_margin_disables(self, monkeypatch):
+        monkeypatch.delenv(CULL_MARGIN_ENV, raising=False)
+        assert resolve_cull_margin_db(5.0, -1.0) is None
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(CULL_MARGIN_ENV, "lots")
+        with pytest.raises(ValueError):
+            resolve_cull_margin_db(5.0)
+
+
+# ----------------------------------------------------------------------
+# The indexed pair cache (O(degree) invalidation)
+# ----------------------------------------------------------------------
+class TestPairCache:
+    def test_get_put_roundtrip(self):
+        cache = _PairCache()
+        assert cache.get((1, 2)) is None
+        cache.put((1, 2), 3.5)
+        assert cache.get((1, 2)) == 3.5
+        assert len(cache) == 1
+
+    def test_invalidate_drops_both_directions(self):
+        cache = _PairCache()
+        cache.put((1, 2), 0.1)
+        cache.put((2, 1), 0.2)
+        cache.put((2, 3), 0.3)
+        assert cache.invalidate(1) == 2
+        assert cache.get((1, 2)) is None
+        assert cache.get((2, 1)) is None
+        assert cache.get((2, 3)) == 0.3
+
+    def test_invalidate_unknown_radio_is_noop(self):
+        cache = _PairCache()
+        cache.put((1, 2), 0.1)
+        assert cache.invalidate(99) == 0
+        assert len(cache) == 1
+
+    def test_peer_index_cleaned_up(self):
+        # After invalidating radio 1, radio 2's index must no longer
+        # reference the dead keys — a later invalidate(2) finds nothing.
+        cache = _PairCache()
+        cache.put((1, 2), 0.1)
+        cache.put((2, 1), 0.2)
+        cache.invalidate(1)
+        assert cache.invalidate(2) == 0
+
+    def test_reinsert_after_invalidate(self):
+        cache = _PairCache()
+        cache.put((1, 2), 0.1)
+        cache.invalidate(2)
+        cache.put((1, 2), 0.9)
+        assert cache.get((1, 2)) == 0.9
+        assert cache.invalidate(1) == 1
+
+
+# ----------------------------------------------------------------------
+# Culling behavior on a PHY-only world
+# ----------------------------------------------------------------------
+# With the conftest defaults (20 dBm, alpha = 3.3, sigma = 0, noise floor
+# -95 dBm, T_cs = -80 dBm) the 20 dB deterministic margin culls receivers
+# whose mean power is under -115 dBm, i.e. beyond ~760 m.
+NEAR = (0.0, 0.0)
+MID = (10.0, 0.0)
+FAR = (5_000.0, 0.0)
+
+
+class TestCulling:
+    def test_far_radio_is_culled(self):
+        world = build_phy_world([NEAR, MID, FAR])
+        tx = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert set(tx.rx_power_mw) == {1}
+        assert world.channel.links_culled == 1
+        # The culled radio never heard about the frame at all.
+        assert world.macs[2].energy_samples == []
+        assert world.macs[2].busy_edges == []
+        assert world.radios[2].frames_missed == 0
+        assert world.radios[2]._in_air == {}
+
+    def test_cull_off_restores_exhaustive_path(self):
+        world = build_phy_world([NEAR, MID, FAR], cull_margin_db="off")
+        assert world.channel.cull_margin_db is None
+        tx = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert set(tx.rx_power_mw) == {1, 2}
+        assert world.channel.links_culled == 0
+        # Below the noise floor the frame is invisible, not "missed".
+        assert world.radios[2].frames_missed == 0
+
+    def test_env_knob_reaches_channel(self, monkeypatch):
+        monkeypatch.setenv(CULL_MARGIN_ENV, "off")
+        world = build_phy_world([NEAR, FAR])
+        assert world.channel.cull_margin_db is None
+        monkeypatch.setenv(CULL_MARGIN_ENV, "40")
+        world = build_phy_world([NEAR, FAR])
+        assert world.channel.cull_margin_db == 40.0
+
+    def test_counters_exposed(self):
+        world = build_phy_world([NEAR, MID, FAR])
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        counters = world.channel.counters()
+        assert counters["culled_links"] == 1
+        assert counters["cull_margin_db"] == CULL_DETERMINISTIC_MARGIN_DB
+        off = build_phy_world([NEAR], cull_margin_db="off")
+        assert off.channel.counters()["cull_margin_db"] == -1.0
+
+    def test_culled_radio_events_not_scheduled(self):
+        # Event economy, not just delivery: the culled receiver's
+        # on_air_start/on_air_end events never enter the queue.
+        exhaustive = build_phy_world([NEAR, MID, FAR], cull_margin_db="off")
+        exhaustive.radios[0].start_transmission(exhaustive.data_frame(0, 1))
+        exhaustive.sim.run()
+        culled = build_phy_world([NEAR, MID, FAR])
+        culled.radios[0].start_transmission(culled.data_frame(0, 1))
+        culled.sim.run()
+        assert culled.sim.events_fired == exhaustive.sim.events_fired - 2
+
+    def test_move_into_range_uncults(self):
+        world = build_phy_world([NEAR, MID, FAR])
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert world.channel.links_culled == 1
+        # The mean-power cache must be invalidated by the move, or the
+        # stale below-floor entry would keep culling a now-close radio.
+        world.radios[2].move_to(Point(20.0, 0.0))
+        tx = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert 2 in tx.rx_power_mw
+        assert world.channel.links_culled == 1
+
+
+# ----------------------------------------------------------------------
+# Mid-run attach contract
+# ----------------------------------------------------------------------
+class TestMidRunAttach:
+    def test_attach_during_flight_sees_nothing(self):
+        world = build_phy_world([NEAR, MID])
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.sim.run(until=200_000)  # mid-frame (airtime ~2 ms at 6 Mbps)
+        late = Radio(
+            radio_id=99,
+            position=Point(5.0, 0.0),
+            config=RadioConfig(tx_power_dbm=20.0, cs_threshold_dbm=-80.0),
+            channel=world.channel,
+        )
+        late_mac = StubMac()
+        late.bind_mac(late_mac)
+        world.sim.run()
+        # The in-flight frame was invisible to the late radio: no
+        # retroactive on_air_start, and — the actual bug this guards —
+        # no spurious on_air_end when the frame lands.
+        assert late_mac.energy_samples == []
+        assert late_mac.busy_edges == []
+        assert late.frames_missed == 0
+        assert late._in_air == {}
+        # The original receiver still completed its reception normally.
+        assert [f.src for f, _ in world.macs[1].received] == [0]
+
+    def test_late_radio_participates_in_next_frame(self):
+        world = build_phy_world([NEAR, MID])
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run(until=200_000)
+        late = Radio(
+            radio_id=99,
+            position=Point(5.0, 0.0),
+            config=RadioConfig(tx_power_dbm=20.0, cs_threshold_dbm=-80.0),
+            channel=world.channel,
+        )
+        late.bind_mac(StubMac())
+        world.sim.run()
+        tx = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert 99 in tx.rx_power_mw
+
+    def test_duplicate_radio_id_rejected(self):
+        world = build_phy_world([NEAR, MID])
+        with pytest.raises(ValueError):
+            Radio(
+                radio_id=1,
+                position=Point(1.0, 0.0),
+                config=RadioConfig(),
+                channel=world.channel,
+            )
+
+
+# ----------------------------------------------------------------------
+# Per-link substream isolation
+# ----------------------------------------------------------------------
+def _rx_sequence(world, receiver_id, frames=3):
+    """Transmit ``frames`` frames from radio 0; rx power at ``receiver_id``."""
+    powers = []
+    for _ in range(frames):
+        tx = world.radios[0].start_transmission(world.data_frame(0, receiver_id))
+        world.sim.run()
+        powers.append(tx.rx_power_mw[receiver_id])
+    return powers
+
+
+class TestSubstreamIsolation:
+    def test_extra_radio_does_not_perturb_link(self):
+        # Under the old shared-stream scheme, a third attached radio
+        # consumed draws from the same generator and shifted every
+        # subsequent draw on the 0 -> 1 link.  Per-link substreams make
+        # the link's randomness a function of its identity alone.
+        kwargs = dict(sigma_db=5.0, shadowing_mode="per_frame", seed=11)
+        alone = build_phy_world([NEAR, MID], **kwargs)
+        crowded = build_phy_world([NEAR, MID, (30.0, 0.0)], **kwargs)
+        assert _rx_sequence(alone, 1) == _rx_sequence(crowded, 1)
+
+    def test_culling_does_not_perturb_surviving_links(self):
+        kwargs = dict(sigma_db=5.0, shadowing_mode="per_frame", seed=11)
+        culled = build_phy_world([NEAR, MID, FAR], **kwargs)
+        exhaustive = build_phy_world(
+            [NEAR, MID, FAR], cull_margin_db="off", **kwargs
+        )
+        assert culled.channel.cull_margin_db == 30.0  # 6 sigma
+        assert _rx_sequence(culled, 1) == _rx_sequence(exhaustive, 1)
+        assert culled.channel.links_culled > 0
+
+    def test_per_frame_draws_vary_per_frame(self):
+        world = build_phy_world(
+            [NEAR, MID], sigma_db=5.0, shadowing_mode="per_frame", seed=11
+        )
+        powers = _rx_sequence(world, 1)
+        assert len(set(powers)) == len(powers)
+
+    def test_per_link_draw_is_stable(self):
+        world = build_phy_world(
+            [NEAR, MID], sigma_db=5.0, shadowing_mode="per_link", seed=11
+        )
+        powers = _rx_sequence(world, 1)
+        assert len(set(powers)) == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence: culling on vs off
+# ----------------------------------------------------------------------
+def _node_counters(net):
+    out = {}
+    for node in net.nodes.values():
+        radio = node.radio
+        out[node.name] = (
+            radio.frames_transmitted,
+            radio.frames_received,
+            radio.frames_corrupted,
+            radio.frames_missed,
+        )
+    return out
+
+
+def _total_culled(net):
+    return sum(ch.links_culled for ch in net.channels.values())
+
+
+class TestEquivalence:
+    def _compare(self, build, duration_s):
+        on = build(None)
+        results_on = on.network.run(duration_s)
+        off = build("off")
+        results_off = off.network.run(duration_s)
+        assert _node_counters(on.network) == _node_counters(off.network)
+        assert results_on.per_flow_mbps() == results_off.per_flow_mbps()
+        return on.network, off.network
+
+    def test_fig8_exposed_terminal(self):
+        # Fig. 8 spans tens of meters; at testbed power (0 dBm) the 24 dB
+        # margin culls only links beyond ~1 km, so nothing is culled and
+        # the two modes must match bit for bit.
+        def build(cull):
+            params = testbed_params().with_overrides(cull_margin_db=cull)
+            return exposed_terminal_topology(
+                "comap", c2_x=20.0, seed=3, params=params
+            )
+
+        net_on, _ = self._compare(build, 0.25)
+        assert _total_culled(net_on) == 0
+
+    def test_fig10_office_floor(self):
+        def build(cull):
+            params = ns2_params().with_overrides(cull_margin_db=cull)
+            return office_floor_topology(
+                "comap", topology_seed=1, seed=0, params=params
+            )
+
+        net_on, _ = self._compare(build, 0.2)
+        assert _total_culled(net_on) == 0
+
+    def test_sparse_cells_cull_and_stay_equivalent(self):
+        # Two saturated cells 4 km apart: at ns2 power the 30 dB margin
+        # culls every cross-cell link, yet per-node outcomes must be
+        # identical to the exhaustive run — and cheaper in events.
+        def build(cull):
+            params = ns2_params().with_overrides(cull_margin_db=cull)
+            net = Network(params, mac_kind="dcf", seed=5)
+            flows = []
+            for i, cx in enumerate((0.0, 4_000.0)):
+                ap = net.add_ap(f"AP{i}", cx, 0.0)
+                for j in range(2):
+                    c = net.add_client(f"C{i}-{j}", cx + 10.0 + j, 5.0, ap=ap)
+                    flows.append((c, ap))
+            net.finalize()
+            for c, ap in flows:
+                net.add_saturated(c, ap)
+
+            class _Built:  # match BuiltScenario's .network shape
+                network = net
+
+            return _Built()
+
+        net_on, net_off = self._compare(build, 0.2)
+        assert _total_culled(net_on) > 0
+        assert _total_culled(net_off) == 0
+        assert net_on.sim.events_fired < net_off.sim.events_fired

@@ -78,3 +78,65 @@ class TestLinearMobility:
             LinearMobility(net, c, [(1, 1)], speed_mps=1.0, tick_s=0.0)
         with pytest.raises(ValueError):
             LinearMobility(net, c, [], speed_mps=1.0)
+
+
+def _refresh_counts(net):
+    """adaptation_refreshes per node name (CO-MAP MACs only)."""
+    return {
+        node.name: node.mac.comap_stats.adaptation_refreshes
+        for node in net.nodes.values()
+        if hasattr(node.mac, "comap_stats")
+    }
+
+
+class TestAdaptationRefreshScope:
+    """A position report must refresh only the MACs that observed it."""
+
+    def test_report_skips_other_bands(self):
+        # Two independent cells on orthogonal bands.  Band-1 agents never
+        # learn band-0 positions, so a band-0 report cannot change their
+        # (N_ht, c) estimates — the old code refreshed them anyway,
+        # making dense mobility O(N^2) per tick.
+        net = Network(ns2_params(), mac_kind="comap", seed=0)
+        ap0 = net.add_ap("AP0", 0, 0, band=0)
+        c0 = net.add_client("C0", 10, 0, ap=ap0)
+        ap1 = net.add_ap("AP1", 0, 50, band=1)
+        c1 = net.add_client("C1", 10, 50, ap=ap1)
+        net.finalize()
+        before = _refresh_counts(net)
+        assert net.update_node_position(c0, Point(30, 0))
+        after = _refresh_counts(net)
+        assert after["AP0"] > before["AP0"]
+        assert after["C0"] > before["C0"]
+        assert after["AP1"] == before["AP1"]
+        assert after["C1"] == before["C1"]
+
+    def test_sub_threshold_move_refreshes_nothing(self):
+        net, ap, c = make_net(threshold_m=5.0)
+        before = _refresh_counts(net)
+        assert not net.update_node_position(c, Point(11, 0))  # 1 m move
+        assert _refresh_counts(net) == before
+
+    def test_same_instant_reports_coalesce(self):
+        # Two reports landing at the same sim-time instant must cost one
+        # refresh per affected MAC, not one per report.
+        net = Network(ns2_params(), mac_kind="comap", seed=0)
+        ap = net.add_ap("AP", 0, 0)
+        c1 = net.add_client("C1", 10, 0, ap=ap)
+        c2 = net.add_client("C2", -10, 0, ap=ap)
+        net.finalize()
+        before = _refresh_counts(net)
+        net.sim.schedule(1_000, net.update_node_position, c1, Point(30, 0))
+        net.sim.schedule(1_000, net.update_node_position, c2, Point(-30, 5))
+        net.sim.run(until=10_000)
+        after = _refresh_counts(net)
+        assert all(after[name] == before[name] + 1 for name in after)
+
+    def test_between_run_report_refreshes_synchronously(self):
+        # Outside sim.run a deferred refresh would never fire; the drain
+        # must happen inline so direct calls see the adapted state.
+        net, ap, c = make_net(threshold_m=5.0)
+        before = _refresh_counts(net)
+        assert net.update_node_position(c, Point(30, 0))
+        after = _refresh_counts(net)
+        assert all(after[name] == before[name] + 1 for name in after)
