@@ -65,6 +65,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import manifest as obs_manifest
 from repro.obs.counters import diff_snapshot, global_registry
+from repro.obs.profile import maybe_profiler
 from repro.obs.trace_io import events_from_payload, events_to_payload
 from repro.sim.trace import configure_from_env, global_recorder
 from repro.util.rng import _canonical, derive_seed
@@ -298,6 +299,9 @@ def run_tasks(
     if cache is None:
         cache = _env_cache()
     jobs = resolve_jobs(jobs)
+    profiler = maybe_profiler()
+    if profiler is not None:
+        profiler.start()
     sweep_started = time.perf_counter()
     trace.record(
         "sweep", "start", label=label, tasks=len(tasks), jobs=jobs,
@@ -317,16 +321,18 @@ def run_tasks(
                 trace.record("sweep", "cache_hit", label=label, key=task.key)
                 continue
         pending.append(index)
+    scan_elapsed = time.perf_counter() - sweep_started
     trace.record(
         "sweep", "phase", label=label, phase="cache_scan",
-        elapsed_s=time.perf_counter() - sweep_started, pending=len(pending),
+        elapsed_s=scan_elapsed, pending=len(pending),
     )
 
     exec_started = time.perf_counter()
     completed = _run_pending(tasks, pending, jobs, label, trace)
+    exec_elapsed = time.perf_counter() - exec_started
     trace.record(
         "sweep", "phase", label=label, phase="execute",
-        elapsed_s=time.perf_counter() - exec_started, tasks=len(pending),
+        elapsed_s=exec_elapsed, tasks=len(pending),
     )
     for index, (value, elapsed) in completed.items():
         results[index] = value
@@ -338,11 +344,18 @@ def run_tasks(
         )
     wall_s = time.perf_counter() - sweep_started
     trace.record("sweep", "done", label=label, tasks=len(tasks), elapsed_s=wall_s)
+    profile_block = None
+    if profiler is not None:
+        profiler.stop()
+        # The phase boundaries mirror the sweep/phase trace events above.
+        profiler.add_phase("cache_scan", scan_elapsed)
+        profiler.add_phase("execute", exec_elapsed)
+        profile_block = profiler.as_block()
     manifest_dir = obs_manifest.active_manifest_dir()
     if manifest_dir:
         _write_sweep_manifest(
             manifest_dir, label=label, tasks=tasks, jobs=jobs, wall_s=wall_s,
-            cache=cache, trace=trace,
+            cache=cache, trace=trace, profile=profile_block,
         )
     return results
 
@@ -355,6 +368,7 @@ def _write_sweep_manifest(
     wall_s: float,
     cache: Optional[ResultCache],
     trace,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Optional[str]:
     """Write this sweep's run manifest; storage failures are non-fatal."""
     task_rows = []
@@ -388,6 +402,7 @@ def _write_sweep_manifest(
         trace_counts=trace.counts(),
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
+        profile=profile,
     )
     try:
         return obs_manifest.write_manifest(manifest, directory)

@@ -397,7 +397,7 @@ class DcfMac:
         data = self._build_data_frame(head, rate)
         self._rts_data_frame = data
         sifs = self.timing.sifs_ns
-        cts_air = self.timing.preamble_ns + self.rates.base.airtime_ns(14)
+        cts_air = self.timing.cts_airtime_ns(self.rates.base)
         remaining = (
             sifs + cts_air
             + sifs + self.timing.frame_airtime_ns(data)
@@ -413,7 +413,7 @@ class DcfMac:
 
     def _accept_rts(self, rts: Frame) -> None:
         """Answer an RTS addressed to us with a CTS after SIFS."""
-        cts_air = self.timing.preamble_ns + self.rates.base.airtime_ns(14)
+        cts_air = self.timing.cts_airtime_ns(self.rates.base)
         remaining = max(int(rts.meta.get("dur", 0)) - self.timing.sifs_ns - cts_air, 0)
         cts = Frame(
             kind=FrameType.CTS, src=self.node_id, dst=rts.src,
@@ -524,7 +524,7 @@ class DcfMac:
             return
         if frame.kind is FrameType.RTS:
             self._state = MacState.WAIT_CTS
-            cts_air = self.timing.preamble_ns + self.rates.base.airtime_ns(14)
+            cts_air = self.timing.cts_airtime_ns(self.rates.base)
             timeout = self.timing.sifs_ns + cts_air + self.timing.ack_timeout_slack_ns
             self._cts_timeout_handle = self.sim.schedule(
                 timeout, self._cts_timeout, self._rts_data_frame

@@ -1,6 +1,6 @@
-"""Structured observability: counter registry, trace export, manifests.
+"""Structured observability: counters, traces, manifests, profiling.
 
-Three layers, all costing nothing measurable when unused:
+Four layers, all costing nothing measurable when unused:
 
 * :mod:`repro.obs.counters` — typed ``Counter``/``Gauge``/``Histogram``
   metrics behind a :class:`~repro.obs.counters.CounterRegistry` that the
@@ -13,6 +13,9 @@ Three layers, all costing nothing measurable when unused:
   seeds, git SHA, wall time, counter snapshot) written by every sweep
   when a sink is active (``REPRO_MANIFEST_DIR`` or
   :func:`~repro.obs.manifest.manifest_sink`).
+* :mod:`repro.obs.profile` — a cProfile/pstats harness
+  (``REPRO_PROFILE``) whose per-phase timings and top-N cumulative
+  table land in the manifest's ``profile`` block.
 
 See ``docs/observability.md`` for the user-facing guide.
 """
@@ -35,6 +38,14 @@ from repro.obs.manifest import (
     manifest_sink,
     validate_manifest,
     write_manifest,
+)
+from repro.obs.profile import (
+    PROFILE_ENV,
+    PROFILE_TOP_ENV,
+    Profiler,
+    maybe_profiler,
+    profiled,
+    profiling_enabled,
 )
 from repro.obs.trace_io import (
     TRACE_SCHEMA_VERSION,
@@ -61,6 +72,12 @@ __all__ = [
     "manifest_sink",
     "validate_manifest",
     "write_manifest",
+    "PROFILE_ENV",
+    "PROFILE_TOP_ENV",
+    "Profiler",
+    "maybe_profiler",
+    "profiled",
+    "profiling_enabled",
     "TRACE_SCHEMA_VERSION",
     "TraceSchemaError",
     "dump_jsonl",

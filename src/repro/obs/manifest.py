@@ -72,6 +72,11 @@ class RunManifest:
     git_sha: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Optional profiling block (phases + top-N cumulative table) written
+    #: when ``REPRO_PROFILE`` is active — see :mod:`repro.obs.profile`.
+    #: Not in ``_REQUIRED_FIELDS``: manifests from unprofiled runs (and
+    #: archived pre-profile manifests) validate unchanged.
+    profile: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {"schema": MANIFEST_SCHEMA, "version": MANIFEST_SCHEMA_VERSION}
@@ -225,6 +230,7 @@ def build_manifest(
     trace_counts: Dict[str, int],
     cache_hits: int = 0,
     cache_misses: int = 0,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` with provenance filled in."""
     return RunManifest(
@@ -240,4 +246,5 @@ def build_manifest(
         git_sha=current_git_sha(),
         cache_hits=int(cache_hits),
         cache_misses=int(cache_misses),
+        profile=profile,
     )

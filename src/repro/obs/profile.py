@@ -1,0 +1,178 @@
+"""Profiling harness: cProfile/pstats wired into run manifests.
+
+Enabled via the ``REPRO_PROFILE`` environment knob (any value other
+than ``0``/``false``/``no``/``off``) or programmatically with the
+:func:`profiled` context manager.  When active, a sweep executed
+through :func:`repro.experiments.parallel.run_tasks` records:
+
+* **per-phase wall times** — the sweep's cache-scan and execute phases
+  (the same boundaries the trace recorder's ``sweep/phase`` events
+  mark), plus any phases the caller adds;
+* **a top-N cumulative table** — the ``N`` most expensive functions by
+  cumulative time (``REPRO_PROFILE_TOP``, default 20), extracted from
+  the cProfile run via :mod:`pstats`.
+
+The block lands in the manifest's optional ``profile`` field, so the
+perf trajectory of a sweep is archived next to its provenance —
+compare two manifests to see where the time moved.
+
+The harness degrades gracefully: if another profiler is already active
+in the process (coverage tools, an outer :func:`profiled` block),
+``start`` records the failure and the block is emitted with an empty
+table and an ``error`` note instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Environment knob: truthy values enable the profiling harness.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Environment knob: how many functions the cumulative table keeps.
+PROFILE_TOP_ENV = "REPRO_PROFILE_TOP"
+
+#: Default size of the top-N cumulative table.
+DEFAULT_TOP = 20
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` asks for the harness."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() not in _FALSY
+
+
+def _top_from_env() -> int:
+    raw = os.environ.get(PROFILE_TOP_ENV, "").strip()
+    if not raw:
+        return DEFAULT_TOP
+    return max(1, int(raw))  # a malformed knob should fail loudly
+
+
+class Profiler:
+    """One cProfile session plus named phase wall times.
+
+    Typical use (what ``run_tasks`` does internally)::
+
+        prof = maybe_profiler()
+        if prof is not None:
+            prof.start()
+        ... work ...
+        if prof is not None:
+            prof.stop()
+            prof.add_phase("execute", elapsed_s)
+            manifest_profile = prof.as_block()
+    """
+
+    def __init__(self, top: Optional[int] = None) -> None:
+        self.top = top if top is not None else _top_from_env()
+        self._profile = cProfile.Profile()
+        self._active = False
+        self._error: Optional[str] = None
+        self._phases: List[Dict[str, Any]] = []
+        self._started = 0.0
+        self._wall_s = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Begin collecting.  Safe when another profiler already runs."""
+        if self._active:
+            return
+        self._started = time.perf_counter()
+        try:
+            self._profile.enable()
+        except (ValueError, RuntimeError) as exc:
+            # cProfile refuses to nest (e.g. under coverage tooling or an
+            # outer profiled() block); keep phase timings, note the loss.
+            self._error = str(exc)
+        self._active = True
+
+    def stop(self) -> None:
+        """Stop collecting; idempotent."""
+        if not self._active:
+            return
+        if self._error is None:
+            try:
+                self._profile.disable()
+            except (ValueError, RuntimeError) as exc:  # pragma: no cover
+                self._error = str(exc)
+        self._wall_s += time.perf_counter() - self._started
+        self._active = False
+
+    # -- phases ---------------------------------------------------------
+    def add_phase(self, name: str, wall_s: float) -> None:
+        """Record an externally-timed phase (seconds)."""
+        self._phases.append({"name": str(name), "wall_s": float(wall_s)})
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block and record it as a phase."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.perf_counter() - begin)
+
+    # -- reporting ------------------------------------------------------
+    def top_functions(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The ``n`` most expensive functions by cumulative time.
+
+        Each entry: ``function`` (``file:line(name)``), ``calls``,
+        ``primitive_calls``, ``tottime_s``, ``cumtime_s``.
+        """
+        if self._error is not None:
+            return []
+        limit = n if n is not None else self.top
+        stats = pstats.Stats(self._profile)
+        rows = sorted(
+            stats.stats.items(), key=lambda item: item[1][3], reverse=True
+        )
+        out = []
+        for (filename, line, name), (cc, nc, tt, ct, _callers) in rows[:limit]:
+            out.append(
+                {
+                    "function": f"{os.path.basename(filename)}:{line}({name})",
+                    "calls": int(nc),
+                    "primitive_calls": int(cc),
+                    "tottime_s": float(tt),
+                    "cumtime_s": float(ct),
+                }
+            )
+        return out
+
+    def as_block(self) -> Dict[str, Any]:
+        """The manifest ``profile`` block: phases + top-N (+ error note)."""
+        block: Dict[str, Any] = {
+            "wall_s": self._wall_s,
+            "phases": list(self._phases),
+            "top": self.top_functions(),
+        }
+        if self._error is not None:
+            block["error"] = self._error
+        return block
+
+
+def maybe_profiler(top: Optional[int] = None) -> Optional[Profiler]:
+    """A fresh :class:`Profiler` when ``REPRO_PROFILE`` is set, else None."""
+    return Profiler(top) if profiling_enabled() else None
+
+
+@contextmanager
+def profiled(top: Optional[int] = None) -> Iterator[Profiler]:
+    """Profile a block regardless of the env knob; yields the profiler.
+
+    The profiler is stopped on exit; read :meth:`Profiler.as_block`
+    (or :meth:`Profiler.top_functions`) afterwards.
+    """
+    prof = Profiler(top)
+    prof.start()
+    try:
+        yield prof
+    finally:
+        prof.stop()

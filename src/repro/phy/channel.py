@@ -47,18 +47,45 @@ defaults to 6σ of the shadowing model (20 dB when σ = 0), can be set
 explicitly via the ``REPRO_CULL_MARGIN_DB`` environment knob, and
 ``REPRO_CULL_MARGIN_DB=off`` restores the old exhaustive path.  Culled
 notifications are counted in the ``channel/culled_links`` counter.
+
+Linear-domain power caches (the frame hot path)
+-----------------------------------------------
+
+Surviving (sender, receiver) notifications dominate dense topologies
+where nothing can be culled, and each one historically paid a
+``10 ** (x / 10)`` per frame.  The pair cache therefore stores the
+**linear-domain (mW)** mean power alongside the dB value, per-frame
+shadowing composes as a single multiply
+(``mean_mw * db_to_ratio(offset)``), and ``per_link`` mode caches the
+fully-composed rx power per pair.  The discipline is *cache, never
+re-derive*: every cached value is produced by exactly the expression
+the uncached path evaluates, so results are bit-identical either way.
+``REPRO_HOTPATH=off`` (sampled at channel construction; see
+:mod:`repro.util.hotpath`) forces the full re-derivation path —
+distance, ``math.log10`` path loss, and dBm→mW conversion per link per
+frame — used by the equivalence tests and as the bench baseline.
+
+The hot path also coalesces air notifications: a frame's per-receiver
+``on_air_start`` (and ``on_air_end``) events all share one timestamp
+and consecutive sequence numbers, so no other event can ever fire
+between them — one engine event delivering all receivers in the same
+order is exactly equivalent and cuts heap traffic from ``2N + 2`` to
+4 events per frame.  Per-node outcomes are bit-identical either way
+(``tests/test_hotpath_equivalence.py``); only ``events_fired`` and the
+heap-pressure counters differ.
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.phy.propagation import LogNormalShadowing
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.util.hotpath import hotpath_enabled
 from repro.util.rng import RngStreams
-from repro.util.units import dbm_to_mw
+from repro.util.units import db_to_ratio, dbm_to_mw
 
 if TYPE_CHECKING:  # avoid a phy <-> mac import cycle; hints only
     from repro.mac.frames import Frame
@@ -109,7 +136,11 @@ def resolve_cull_margin_db(
 
 
 class _PairCache:
-    """``(tx_id, rx_id) -> float`` cache with O(degree) invalidation.
+    """``(tx_id, rx_id) -> value`` cache with O(degree) invalidation.
+
+    Values are floats or small tuples of floats — the mean-power cache
+    stores ``(dbm, mw)`` so the linear-domain conversion is computed
+    once per pair rather than once per frame.
 
     A secondary index maps each radio id to the set of cached keys it
     participates in, so :meth:`invalidate` (called on every
@@ -121,13 +152,13 @@ class _PairCache:
     __slots__ = ("_values", "_by_radio")
 
     def __init__(self) -> None:
-        self._values: Dict[Tuple[int, int], float] = {}
+        self._values: Dict[Tuple[int, int], Any] = {}
         self._by_radio: Dict[int, Set[Tuple[int, int]]] = {}
 
-    def get(self, key: Tuple[int, int]) -> Optional[float]:
+    def get(self, key: Tuple[int, int]) -> Optional[Any]:
         return self._values.get(key)
 
-    def put(self, key: Tuple[int, int], value: float) -> None:
+    def put(self, key: Tuple[int, int], value: Any) -> None:
         self._values[key] = value
         for radio_id in key:
             self._by_radio.setdefault(radio_id, set()).add(key)
@@ -228,10 +259,21 @@ class Channel:
         self._radios: List["Radio"] = []
         self._radios_by_id: Dict[int, "Radio"] = {}
         self._active: List[Transmission] = []
+        #: Snapshot of the ``REPRO_HOTPATH`` knob (see repro.util.hotpath);
+        #: sampled at construction so the per-frame path branches on a
+        #: plain attribute.
+        self._hotpath = hotpath_enabled()
         #: Cached per-link shadowing offsets (``per_link`` mode only).
+        #: Semantic state, not a perf cache: ``per_link`` means one draw
+        #: per pair for the whole run, so this survives REPRO_HOTPATH=off.
         self._link_shadowing_db = _PairCache()
-        #: Cached deterministic mean received power per (tx, rx) pair.
-        self._mean_rx_dbm_cache = _PairCache()
+        #: Cached ``(mean_dbm, mean_mw)`` per (tx, rx) pair (hot path only).
+        self._mean_rx_cache = _PairCache()
+        #: Cached fully-composed rx power in mW (``per_link`` + hot path).
+        self._link_rx_mw = _PairCache()
+        #: Memoized per-link shadowing generators (identity per (tx, rx);
+        #: avoids rebuilding the substream key tuple per frame).
+        self._link_rng_memo: Dict[Tuple[int, int], Any] = {}
         #: Counters for diagnostics and tests.
         self.frames_sent = 0
         self.links_culled = 0
@@ -297,17 +339,20 @@ class Channel:
         were dropped.  The cache is indexed per radio, so this is
         O(degree of the radio), not O(all cached links).
         """
+        self._link_rx_mw.invalidate(radio_id)  # composed from the draws
         return self._link_shadowing_db.invalidate(radio_id)
 
     def on_radio_moved(self, radio_id: int) -> None:
         """Invalidate everything position-dependent for ``radio_id``.
 
         Called by :meth:`repro.phy.radio.Radio.move_to`: drops the
-        radio's cached mean-power entries (they encode the old distance)
-        and its per-link shadowing draws.
+        radio's cached mean-power entries (they encode the old distance),
+        its per-link shadowing draws, and the composed per-link powers
+        derived from both.
         """
-        self._mean_rx_dbm_cache.invalidate(radio_id)
+        self._mean_rx_cache.invalidate(radio_id)
         self._link_shadowing_db.invalidate(radio_id)
+        self._link_rx_mw.invalidate(radio_id)
 
     @property
     def active_transmissions(self) -> List[Transmission]:
@@ -333,6 +378,7 @@ class Channel:
         latency = self.air_latency_ns
         schedule = self.sim.schedule
         culled = 0
+        receivers: List[Tuple["Radio", float]] = []
         for radio in self._radios:
             if radio is sender:
                 continue
@@ -347,10 +393,18 @@ class Channel:
                     continue
             power_mw = self._received_power_mw(sender, radio, frame)
             tx.rx_power_mw[radio.radio_id] = power_mw
-            if latency:
-                schedule(latency, radio.on_air_start, tx, power_mw)
-            else:
+            if not latency:
                 radio.on_air_start(tx, power_mw)
+            elif self._hotpath:
+                receivers.append((radio, power_mw))
+            else:
+                schedule(latency, radio.on_air_start, tx, power_mw)
+        if receivers:
+            # All per-receiver notifications share one timestamp and
+            # consecutive seqs, so nothing can fire between them — one
+            # coalesced event delivering them in the same order is
+            # exactly equivalent and saves N-1 heap entries per frame.
+            schedule(latency, self._deliver_air_start, tx, receivers)
         self.links_culled += culled
         if self.trace.wants("channel"):
             self.trace.record(
@@ -373,31 +427,69 @@ class Channel:
             self.trace.record("channel", "tx-end", frame=tx.frame.describe())
         latency = self.air_latency_ns
         radios_by_id = self._radios_by_id
-        for radio_id in tx.rx_power_mw:
-            radio = radios_by_id[radio_id]
-            if latency:
-                self.sim.schedule(latency, radio.on_air_end, tx)
-            else:
-                radio.on_air_end(tx)
+        if latency and self._hotpath:
+            if tx.rx_power_mw:
+                # Same coalescing argument as in transmit(): the end
+                # notifications are back-to-back either way.
+                self.sim.schedule(latency, self._deliver_air_end, tx)
+        else:
+            for radio_id in tx.rx_power_mw:
+                radio = radios_by_id[radio_id]
+                if latency:
+                    self.sim.schedule(latency, radio.on_air_end, tx)
+                else:
+                    radio.on_air_end(tx)
         tx.sender.on_own_tx_end(tx)
+
+    def _deliver_air_start(
+        self, tx: Transmission, receivers: List[Tuple["Radio", float]]
+    ) -> None:
+        """Coalesced start-of-air delivery (hot path, latency > 0 only).
+
+        Receivers are notified in attach order — the order the
+        per-receiver events fired in on the uncoalesced path.
+        """
+        for radio, power_mw in receivers:
+            radio.on_air_start(tx, power_mw)
+
+    def _deliver_air_end(self, tx: Transmission) -> None:
+        """Coalesced end-of-air delivery (hot path, latency > 0 only)."""
+        radios_by_id = self._radios_by_id
+        for radio_id in tx.rx_power_mw:
+            radios_by_id[radio_id].on_air_end(tx)
 
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
-    def _mean_rx_dbm(self, sender: "Radio", receiver: "Radio") -> float:
-        """Deterministic mean received power, cached per (tx, rx) pair.
+    def _mean_rx(self, sender: "Radio", receiver: "Radio") -> Tuple[float, float]:
+        """Deterministic mean received power as ``(dbm, mw)``.
 
-        The cache assumes positions and transmit powers only change via
-        :meth:`repro.phy.radio.Radio.move_to`, which invalidates the
-        moved radio's entries through :meth:`on_radio_moved`.
+        Cached per (tx, rx) pair on the hot path; with
+        ``REPRO_HOTPATH=off`` both values are re-derived per call through
+        the exact same expressions, so the realization is identical
+        either way.  The cache assumes positions and transmit powers only
+        change via :meth:`repro.phy.radio.Radio.move_to`, which
+        invalidates the moved radio's entries through
+        :meth:`on_radio_moved`.
         """
-        key = (sender.radio_id, receiver.radio_id)
-        mean = self._mean_rx_dbm_cache.get(key)
-        if mean is None:
-            dist = sender.position.distance_to(receiver.position)
-            mean = self.propagation.mean_rx_dbm(sender.config.tx_power_dbm, dist)
-            self._mean_rx_dbm_cache.put(key, mean)
-        return mean
+        if self._hotpath:
+            key = (sender.radio_id, receiver.radio_id)
+            entry = self._mean_rx_cache.get(key)
+            if entry is None:
+                dist = sender.position.distance_to(receiver.position)
+                mean_dbm = self.propagation.mean_rx_dbm(
+                    sender.config.tx_power_dbm, dist
+                )
+                entry = (mean_dbm, dbm_to_mw(mean_dbm))
+                self._mean_rx_cache.put(key, entry)
+            return entry
+        dist = sender.position.distance_to(receiver.position)
+        mean_dbm = self.propagation.mean_rx_dbm(sender.config.tx_power_dbm, dist)
+        return (mean_dbm, dbm_to_mw(mean_dbm))
+
+    def _mean_rx_dbm(self, sender: "Radio", receiver: "Radio") -> float:
+        """Deterministic mean received power in dBm (culling check)."""
+        return self._mean_rx(sender, receiver)[0]
 
     def _link_rng(self, tx_id: int, rx_id: int):
         """The ordered pair's private shadowing generator.
@@ -405,25 +497,54 @@ class Channel:
         Seeded via ``derive_seed(root, "shadowing", band, tx, rx)``, so
         the stream depends only on the link's identity — never on how
         many draws other links consumed or whether they were culled.
+        The generator *object* is the same either way (``substream``
+        memoizes per key); the hot path only skips rebuilding the key
+        tuple, so the draw sequence cannot differ between modes.
         """
+        if self._hotpath:
+            pair = (tx_id, rx_id)
+            rng = self._link_rng_memo.get(pair)
+            if rng is None:
+                rng = self._rngs.substream("shadowing", self.band, tx_id, rx_id)
+                self._link_rng_memo[pair] = rng
+            return rng
         return self._rngs.substream("shadowing", self.band, tx_id, rx_id)
 
     def _received_power_mw(self, sender: "Radio", receiver: "Radio", frame: "Frame") -> float:
-        """Draw the received power of this frame at ``receiver``."""
-        mean_dbm = self._mean_rx_dbm(sender, receiver)
-        if self.shadowing_mode == "none":
-            rx_dbm = mean_dbm
-        elif self.shadowing_mode == "per_link":
+        """Draw the received power of this frame at ``receiver``.
+
+        Composition per shadowing mode (identical expressions on the
+        cached and re-derivation paths):
+
+        * ``none`` — the linear mean, ``dbm_to_mw(mean_dbm)``.
+        * ``per_link`` — ``dbm_to_mw(mean_dbm + offset)``; the composed
+          value is constant per pair, so the hot path caches it whole.
+        * ``per_frame`` — ``mean_mw * db_to_ratio(offset)``: the cached
+          linear mean times the fresh offset ratio, one multiply per
+          frame instead of a ``10 **`` of the recomposed dB sum.
+        """
+        mean_dbm, mean_mw = self._mean_rx(sender, receiver)
+        mode = self.shadowing_mode
+        if mode == "none":
+            return mean_mw
+        if mode == "per_link":
             key = (sender.radio_id, receiver.radio_id)
+            if self._hotpath:
+                rx_mw = self._link_rx_mw.get(key)
+                if rx_mw is not None:
+                    return rx_mw
             offset = self._link_shadowing_db.get(key)
             if offset is None:
                 offset = self.propagation.shadowing_db(
                     self._link_rng(sender.radio_id, receiver.radio_id)
                 )
                 self._link_shadowing_db.put(key, offset)
-            rx_dbm = mean_dbm + offset
-        else:  # per_frame
-            rx_dbm = mean_dbm + self.propagation.shadowing_db(
-                self._link_rng(sender.radio_id, receiver.radio_id)
-            )
-        return dbm_to_mw(rx_dbm)
+            rx_mw = dbm_to_mw(mean_dbm + offset)
+            if self._hotpath:
+                self._link_rx_mw.put(key, rx_mw)
+            return rx_mw
+        # per_frame
+        offset = self.propagation.shadowing_db(
+            self._link_rng(sender.radio_id, receiver.radio_id)
+        )
+        return mean_mw * db_to_ratio(offset)

@@ -27,7 +27,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.phy.channel import Channel, Transmission
+from repro.phy.rates import sensitivity_mw, sir_threshold_ratio
 from repro.util.geometry import Point
+from repro.util.hotpath import hotpath_enabled
 from repro.util.units import dbm_to_mw, mw_to_dbm
 
 if TYPE_CHECKING:  # avoid a phy <-> mac import cycle; hints only
@@ -83,6 +85,14 @@ class Radio:
         self._cs_threshold_mw = dbm_to_mw(config.cs_threshold_dbm)
         self._noise_mw = dbm_to_mw(config.noise_floor_dbm)
         self._in_air: dict = {}  # Transmission -> rx power mW
+        #: REPRO_HOTPATH snapshot (see repro.util.hotpath): gates the
+        #: energy memo and the per-rate constant caches below.
+        self._hotpath = hotpath_enabled()
+        # Memoized sum(self._in_air.values()); every _in_air mutation sets
+        # the dirty flag, so the memo is exactly the sum the uncached path
+        # would compute over the same dict.
+        self._energy_cache = 0.0
+        self._energy_dirty = False
         self._current_tx: Optional[Transmission] = None
         self._lock: Optional[_ReceptionLock] = None
         self._busy = False
@@ -123,10 +133,34 @@ class Radio:
         return self._current_tx is not None
 
     def energy_mw(self) -> float:
-        """Total in-air power currently measured at this radio (mW)."""
+        """Total in-air power currently measured at this radio (mW).
+
+        Hot sites (CCA, interference tracking, capture tests) call this
+        several times per notification; the hot path memoizes the sum and
+        recomputes only after ``_in_air`` changes.
+        """
+        if self._hotpath:
+            if self._energy_dirty:
+                self._energy_cache = (
+                    sum(self._in_air.values()) if self._in_air else 0.0
+                )
+                self._energy_dirty = False
+            return self._energy_cache
         if not self._in_air:
             return 0.0
         return sum(self._in_air.values())
+
+    def _sensitivity_mw(self, rate) -> float:
+        """``rate.sensitivity_dbm`` in mW (cached per rate on the hot path)."""
+        if self._hotpath:
+            return sensitivity_mw(rate)
+        return dbm_to_mw(rate.sensitivity_dbm)
+
+    def _sir_threshold(self, rate) -> float:
+        """``rate.sir_threshold_db`` as a ratio (cached per rate on the hot path)."""
+        if self._hotpath:
+            return sir_threshold_ratio(rate)
+        return 10.0 ** (rate.sir_threshold_db / 10.0)
 
     def energy_dbm(self) -> float:
         """In-air power in dBm; the noise floor when nothing is in the air."""
@@ -180,10 +214,10 @@ class Radio:
     def on_air_start(self, tx: Transmission, power_mw: float) -> None:
         """A foreign transmission began; update CCA and reception state."""
         self._in_air[tx] = power_mw
+        self._energy_dirty = True
         if self._current_tx is None:
             if self._lock is None:
-                sensitivity_mw = dbm_to_mw(tx.frame.rate.sensitivity_dbm)
-                if power_mw >= sensitivity_mw:
+                if power_mw >= self._sensitivity_mw(tx.frame.rate):
                     interference = self.energy_mw() - power_mw
                     self._lock = _ReceptionLock(tx, power_mw, interference)
                     self._maybe_schedule_embedded_decode(self._lock)
@@ -215,6 +249,7 @@ class Radio:
     def on_air_end(self, tx: Transmission) -> None:
         """A foreign transmission ended; maybe complete a reception."""
         self._in_air.pop(tx, None)
+        self._energy_dirty = True
         lock = self._lock
         if lock is not None and lock.tx is tx:
             self._lock = None
@@ -247,24 +282,23 @@ class Radio:
         if self._lock is not lock or self.mac is None:
             return
         sir = lock.signal_mw / (lock.max_interference_mw + self._noise_mw)
-        threshold = 10.0 ** (lock.tx.frame.rate.sir_threshold_db / 10.0)
+        threshold = self._sir_threshold(lock.tx.frame.rate)
         if sir >= threshold:
             self.mac.on_header_overheard(lock.tx.frame, mw_to_dbm(lock.signal_mw))
 
     def _captures_over_lock(self, tx: Transmission, power_mw: float) -> bool:
         """Would ``tx`` decode with everything else (incl. the lock) as noise?"""
-        sensitivity_mw = dbm_to_mw(tx.frame.rate.sensitivity_dbm)
-        if power_mw < sensitivity_mw:
+        if power_mw < self._sensitivity_mw(tx.frame.rate):
             return False
         interference = self.energy_mw() - power_mw
-        threshold = 10.0 ** (tx.frame.rate.sir_threshold_db / 10.0)
+        threshold = self._sir_threshold(tx.frame.rate)
         return power_mw / (interference + self._noise_mw) >= threshold
 
     def _finish_reception(self, lock: _ReceptionLock) -> None:
         """Apply the SIR test and deliver or discard the frame."""
         frame = lock.tx.frame
         sir = lock.signal_mw / (lock.max_interference_mw + self._noise_mw)
-        threshold = 10.0 ** (frame.rate.sir_threshold_db / 10.0)
+        threshold = self._sir_threshold(frame.rate)
         rssi_dbm = mw_to_dbm(lock.signal_mw)
         if sir >= threshold:
             self.frames_received += 1

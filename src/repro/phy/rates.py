@@ -16,6 +16,7 @@ tables.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple
 
 
@@ -51,6 +52,26 @@ class Rate:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.mbps:g}Mbps"
+
+
+@lru_cache(maxsize=None)
+def sensitivity_mw(rate: Rate) -> float:
+    """``rate.sensitivity_dbm`` converted to mW, cached per rate.
+
+    The expression is exactly :func:`repro.util.units.dbm_to_mw`; rates
+    are frozen, so caching the conversion cannot change the value — the
+    *cache, never re-derive* discipline of the frame hot path.
+    """
+    return 10.0 ** (rate.sensitivity_dbm / 10.0)
+
+
+@lru_cache(maxsize=None)
+def sir_threshold_ratio(rate: Rate) -> float:
+    """``rate.sir_threshold_db`` as a linear power ratio, cached per rate.
+
+    Exactly :func:`repro.util.units.db_to_ratio` of the threshold.
+    """
+    return 10.0 ** (rate.sir_threshold_db / 10.0)
 
 
 class RateTable:

@@ -15,6 +15,12 @@ Design notes
   heap entry is discarded lazily when popped.  This is O(1) per cancel and
   keeps the hot loop branch-light — the standard approach for MAC
   simulations where backoff timers are cancelled constantly.
+* **Heap hygiene.**  The engine maintains an exact live-event count
+  (``pending_events`` is O(1), not a queue scan) and compacts the heap
+  when tombstones exceed both half the heap and a floor of
+  ``compact_floor`` entries — MAC simulations cancel an ACK timeout on
+  every successful exchange, so long runs would otherwise drag a
+  dead-entry majority through every push and pop.
 """
 
 from __future__ import annotations
@@ -34,28 +40,40 @@ class EventHandle:
     need to cancel (e.g. an ACK timeout cancelled by ACK arrival).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent.
 
         Cancelling after the event fired is a no-op: the handle stays in
         the ``fired`` state rather than pretending the callback never ran.
+        Double-cancel is likewise a no-op — the engine's live-event count
+        is decremented exactly once per handle.
         """
-        if self.fired:
+        if self.fired or self.cancelled:
             return
         self.cancelled = True
         # Drop references eagerly so cancelled closures don't pin objects.
         self.callback = _noop
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -84,12 +102,19 @@ class Simulator:
         sim.run(until=2 * SECOND)
     """
 
+    #: Minimum tombstone count before compaction is considered.  Class
+    #: default; tests lower it per-instance to exercise compaction cheaply.
+    compact_floor: int = 1024
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
         self._queue: List[EventHandle] = []
         self._running = False
         self._events_fired = 0
+        self._live = 0  # exact count of scheduled, not-cancelled, not-fired events
+        self._heap_peak = 0
+        self._compactions = 0
 
     @property
     def now(self) -> int:
@@ -114,8 +139,22 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled-and-live events still in the queue."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        """Number of scheduled-and-live events still in the queue.
+
+        O(1): the engine maintains an exact count across schedule, fire,
+        and cancel instead of scanning the queue per snapshot.
+        """
+        return self._live
+
+    @property
+    def heap_peak(self) -> int:
+        """Largest heap length (live + tombstones) observed so far."""
+        return self._heap_peak
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the heap was rebuilt to shed tombstones."""
+        return self._compactions
 
     def counters(self) -> dict:
         """Engine-level counters, in registry-source form.
@@ -126,6 +165,8 @@ class Simulator:
         return {
             "events_fired": self._events_fired,
             "pending_events": self.pending_events,
+            "heap_compactions": self._compactions,
+            "heap_peak": self._heap_peak,
         }
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -145,9 +186,34 @@ class Simulator:
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
         self._seq += 1
-        handle = EventHandle(int(time), self._seq, callback, args)
+        handle = EventHandle(int(time), self._seq, callback, args, self)
         heapq.heappush(self._queue, handle)
+        self._live += 1
+        if len(self._queue) > self._heap_peak:
+            self._heap_peak = len(self._queue)
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel` (once).
+
+        Decrements the live count and compacts the heap when tombstones
+        exceed both half the heap and :attr:`compact_floor` entries.
+        """
+        self._live -= 1
+        dead = len(self._queue) - self._live
+        if dead >= self.compact_floor and dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live handles, dropping tombstones.
+
+        ``heapify`` over the filtered list preserves the (time, seq)
+        ordering invariant, so firing order is unchanged.  Safe mid-run:
+        the run loop re-reads ``self._queue`` every iteration.
+        """
+        self._queue = [handle for handle in self._queue if not handle.cancelled]
+        heapq.heapify(self._queue)
+        self._compactions += 1
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events in timestamp order.
@@ -177,6 +243,7 @@ class Simulator:
                 handle.fired = True  # fired events cannot be cancelled later
                 handle.callback = _noop  # release closures, as cancel() does
                 handle.args = ()
+                self._live -= 1
                 callback(*args)
                 fired += 1
                 self._events_fired += 1

@@ -1,0 +1,70 @@
+"""The ``REPRO_HOTPATH`` knob: cached hot-path math vs. full re-derivation.
+
+The frame hot path caches values that are pure functions of inputs that
+rarely change — linear-domain (mW) mean received powers per (tx, rx)
+pair, per-rate sensitivity/SIR constants, per-(rate, size) frame
+airtimes.  The discipline is *cache, never re-derive*: every cached
+value is produced by exactly the same expression the uncached path
+evaluates, so enabling the caches is bit-identical to recomputing from
+scratch.  ``REPRO_HOTPATH=off`` (or ``0``/``false``) force-disables all
+of them, giving a slow reference path used by the equivalence tests in
+``tests/test_hotpath_equivalence.py`` and as the baseline of
+``benchmarks/bench_engine_throughput.py``'s hot-path bench.
+
+The flag is read from the environment once (consumers sit on per-frame
+paths where an ``os.environ`` lookup per call would itself be a cost)
+and can be overridden programmatically with :func:`set_hotpath` —
+``None`` restores deference to the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment knob: ``off``/``0``/``false`` disables hot-path caching.
+HOTPATH_ENV = "REPRO_HOTPATH"
+
+#: Values (lower-cased) that disable the hot path.
+_DISABLED_VALUES = ("off", "0", "false", "no")
+
+_enabled: Optional[bool] = None
+
+
+def _from_env() -> bool:
+    raw = os.environ.get(HOTPATH_ENV, "").strip().lower()
+    return raw not in _DISABLED_VALUES if raw else True
+
+
+def hotpath_enabled() -> bool:
+    """True when hot-path caches are active (the default)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = _from_env()
+    return _enabled
+
+
+def set_hotpath(enabled: Optional[bool]) -> None:
+    """Override the knob programmatically.
+
+    ``True``/``False`` pin the state; ``None`` re-reads the environment
+    on the next :func:`hotpath_enabled` call.  Objects that sample the
+    flag at construction time (``Channel``, ``Radio``) must be rebuilt
+    to observe a change — the benches and equivalence tests construct
+    one network per mode for exactly this reason.
+    """
+    global _enabled
+    _enabled = enabled
+
+
+@contextmanager
+def hotpath_forced(enabled: bool) -> Iterator[None]:
+    """Pin the knob inside a block, restoring the prior state after."""
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -31,6 +31,7 @@ from repro.phy.channel import (
 )
 from repro.phy.radio import Radio, RadioConfig
 from repro.util.geometry import Point
+from repro.util.hotpath import hotpath_forced
 
 from tests.conftest import StubMac, build_phy_world
 
@@ -171,13 +172,17 @@ class TestCulling:
 
     def test_culled_radio_events_not_scheduled(self):
         # Event economy, not just delivery: the culled receiver's
-        # on_air_start/on_air_end events never enter the queue.
-        exhaustive = build_phy_world([NEAR, MID, FAR], cull_margin_db="off")
-        exhaustive.radios[0].start_transmission(exhaustive.data_frame(0, 1))
-        exhaustive.sim.run()
-        culled = build_phy_world([NEAR, MID, FAR])
-        culled.radios[0].start_transmission(culled.data_frame(0, 1))
-        culled.sim.run()
+        # on_air_start/on_air_end events never enter the queue.  Pinned
+        # to the uncoalesced path — the default hot path batches all
+        # receivers of a frame into one delivery event, so per-receiver
+        # event counts are only visible with the hot path off.
+        with hotpath_forced(False):
+            exhaustive = build_phy_world([NEAR, MID, FAR], cull_margin_db="off")
+            exhaustive.radios[0].start_transmission(exhaustive.data_frame(0, 1))
+            exhaustive.sim.run()
+            culled = build_phy_world([NEAR, MID, FAR])
+            culled.radios[0].start_transmission(culled.data_frame(0, 1))
+            culled.sim.run()
         assert culled.sim.events_fired == exhaustive.sim.events_fired - 2
 
     def test_move_into_range_uncults(self):
@@ -372,7 +377,12 @@ class TestEquivalence:
 
             return _Built()
 
-        net_on, net_off = self._compare(build, 0.2)
+        # Pinned to the uncoalesced path: the default hot path delivers
+        # all of a frame's receivers in one event, so culling's event
+        # economy (fewer per-receiver notifications) only shows in the
+        # event count with the hot path off.
+        with hotpath_forced(False):
+            net_on, net_off = self._compare(build, 0.2)
         assert _total_culled(net_on) > 0
         assert _total_culled(net_off) == 0
         assert net_on.sim.events_fired < net_off.sim.events_fired

@@ -228,6 +228,164 @@ class TestRunControl:
         assert sim.events_fired == 4
 
 
+class TestLivePendingCount:
+    """pending_events is an exact O(1) count, not a queue scan."""
+
+    def test_interleaved_schedule_cancel_fire(self):
+        sim = Simulator()
+        h1 = sim.schedule(10, lambda: None)
+        h2 = sim.schedule(20, lambda: None)
+        h3 = sim.schedule(30, lambda: None)
+        assert sim.pending_events == 3
+        h2.cancel()
+        assert sim.pending_events == 2
+        sim.run(until=10)  # fires h1
+        assert sim.pending_events == 1
+        h4 = sim.schedule(15, lambda: None)
+        assert sim.pending_events == 2
+        h4.cancel()
+        h3.cancel()
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.pending_events == 0
+        assert h1.fired and h2.cancelled and h3.cancelled and h4.cancelled
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until=10)
+        assert sim.pending_events == 1
+        handle.cancel()  # no-op: already fired
+        assert sim.pending_events == 1
+
+    def test_cancel_own_handle_inside_callback(self):
+        # A callback cancelling its own (already-fired) handle must not
+        # double-decrement the live count.
+        sim = Simulator()
+        box = {}
+        box["h"] = sim.schedule(10, lambda: box["h"].cancel())
+        sim.schedule(20, lambda: None)
+        sim.run(until=10)
+        assert sim.pending_events == 1
+
+    def test_count_matches_scan_under_random_interleaving(self):
+        import random
+
+        rng = random.Random(42)
+        sim = Simulator()
+        handles = []
+        for _ in range(500):
+            action = rng.random()
+            if action < 0.6 or not handles:
+                handles.append(sim.schedule(rng.randrange(1, 100), lambda: None))
+            elif action < 0.85:
+                rng.choice(handles).cancel()
+            else:
+                sim.run(max_events=rng.randrange(1, 4))
+        scan = sum(1 for h in sim._queue if not h.cancelled and not h.fired)
+        assert sim.pending_events == scan
+
+
+class TestHeapCompaction:
+    def test_compaction_triggers_past_floor_and_majority(self):
+        sim = Simulator()
+        sim.compact_floor = 8
+        live = [sim.schedule(1000 + i, lambda: None) for i in range(6)]
+        doomed = [sim.schedule(2000 + i, lambda: None) for i in range(10)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.heap_compactions == 1
+        # Compaction fires at the 9th cancel (dead=9 of 16: past floor 8
+        # and a majority); the 10th cancel leaves one fresh tombstone.
+        assert len(sim._queue) == len(live) + 1
+        assert sim.pending_events == 6
+
+    def test_no_compaction_below_floor(self):
+        sim = Simulator()  # default floor of 1024
+        doomed = [sim.schedule(100 + i, lambda: None) for i in range(50)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.heap_compactions == 0
+
+    def test_no_compaction_while_tombstones_are_minority(self):
+        sim = Simulator()
+        sim.compact_floor = 4
+        for i in range(20):
+            sim.schedule(100 + i, lambda: None)
+        for handle in [sim.schedule(500 + i, lambda: None) for i in range(5)]:
+            handle.cancel()
+        # 5 dead of 25 total: past the floor but not a majority.
+        assert sim.heap_compactions == 0
+
+    def test_compaction_preserves_firing_order(self):
+        import random
+
+        rng = random.Random(7)
+        sim = Simulator()
+        sim.compact_floor = 16
+        order = []
+        expected = []
+        handles = []
+        for i in range(400):
+            t = rng.randrange(1, 10_000)
+            handles.append((t, sim.schedule_at(t, order.append, (t, i))))
+        # Cancel enough to force several compactions mid-stream.
+        for t, handle in rng.sample(handles, 300):
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        survivors = [(t, h) for t, h in handles if not h.cancelled]
+        # Survivors must fire in (time, seq) order; seq increases with
+        # creation order, so sorting by (t, creation index) predicts it.
+        expected = sorted(
+            ((t, h.seq) for t, h in survivors), key=lambda pair: pair
+        )
+        sim.run()
+        fired = [(t, None) for t, _ in order]
+        assert [t for t, _ in order] == [t for t, _ in expected]
+        assert len(order) == len(survivors)
+
+    def test_compaction_counters_exposed(self):
+        sim = Simulator()
+        sim.compact_floor = 2
+        for i in range(6):
+            sim.schedule(10 + i, lambda: None)
+        counters = sim.counters()
+        assert counters["heap_peak"] == 6
+        assert counters["heap_compactions"] == 0
+        for handle in list(sim._queue)[:5]:
+            handle.cancel()
+        counters = sim.counters()
+        assert counters["heap_compactions"] >= 1
+        assert counters["pending_events"] == 1
+        assert counters["heap_peak"] == 6
+
+    def test_compaction_mid_run_is_safe(self):
+        sim = Simulator()
+        sim.compact_floor = 4
+        fired = []
+        doomed = [sim.schedule(500 + i, lambda: None) for i in range(20)]
+
+        def cancel_many():
+            fired.append("cancel")
+            for handle in doomed:
+                handle.cancel()
+
+        sim.schedule(10, cancel_many)
+        sim.schedule(100, fired.append, "after")
+        sim.run()
+        assert fired == ["cancel", "after"]
+        assert sim.heap_compactions >= 1
+
+
 class TestDeterminismProperty:
     @given(
         st.lists(

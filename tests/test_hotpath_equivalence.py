@@ -1,0 +1,184 @@
+"""The frame hot path: REPRO_HOTPATH knob + golden bit-equivalence.
+
+The hot path caches linear-domain mean powers, composed per-link rx
+powers, per-rate sensitivity/SIR constants, airtimes, and the radio's
+in-air energy sum.  The discipline is *cache, never re-derive*: every
+cached value comes from the exact expression the uncached path
+evaluates, so ``REPRO_HOTPATH=off`` (full re-derivation) must produce
+bit-identical results.  These tests pin that on the paper's Fig. 8 and
+Fig. 10 topologies and on the 120-node sparse floor the engine bench
+uses.
+"""
+
+import pytest
+
+from repro.experiments.params import ns2_params, testbed_params
+from repro.experiments.topologies import (
+    exposed_terminal_topology,
+    office_floor_topology,
+)
+from repro.net.network import Network
+from repro.util.hotpath import (
+    HOTPATH_ENV,
+    hotpath_enabled,
+    hotpath_forced,
+    set_hotpath,
+)
+
+from tests.conftest import build_phy_world
+
+
+@pytest.fixture(autouse=True)
+def _restore_hotpath():
+    """Every test leaves the knob deferring to the environment."""
+    yield
+    set_hotpath(None)
+
+
+# ----------------------------------------------------------------------
+# Knob semantics
+# ----------------------------------------------------------------------
+class TestKnob:
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(HOTPATH_ENV, raising=False)
+        set_hotpath(None)
+        assert hotpath_enabled() is True
+
+    @pytest.mark.parametrize("value", ["off", "OFF", "0", "false", "no"])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(HOTPATH_ENV, value)
+        set_hotpath(None)
+        assert hotpath_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", "anything"])
+    def test_other_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(HOTPATH_ENV, value)
+        set_hotpath(None)
+        assert hotpath_enabled() is True
+
+    def test_set_hotpath_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(HOTPATH_ENV, "off")
+        set_hotpath(True)
+        assert hotpath_enabled() is True
+        set_hotpath(None)  # back to deferring to the environment
+        assert hotpath_enabled() is False
+
+    def test_forced_context_restores(self):
+        set_hotpath(True)
+        with hotpath_forced(False):
+            assert hotpath_enabled() is False
+        assert hotpath_enabled() is True
+
+
+# ----------------------------------------------------------------------
+# Micro-level equivalence on a PHY-only world
+# ----------------------------------------------------------------------
+def _rx_powers(world, frames=4):
+    powers = []
+    for _ in range(frames):
+        tx = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        powers.append(dict(tx.rx_power_mw))
+    return powers
+
+
+class TestPhyEquivalence:
+    @pytest.mark.parametrize("mode", ["none", "per_link", "per_frame"])
+    def test_rx_power_identical_per_mode(self, mode):
+        kwargs = dict(sigma_db=5.0, shadowing_mode=mode, seed=11)
+        with hotpath_forced(True):
+            on = _rx_powers(build_phy_world([(0.0, 0.0), (10.0, 0.0)], **kwargs))
+        with hotpath_forced(False):
+            off = _rx_powers(build_phy_world([(0.0, 0.0), (10.0, 0.0)], **kwargs))
+        assert on == off
+
+    def test_mobility_invalidation_identical(self):
+        from repro.util.geometry import Point
+
+        def run(enabled):
+            with hotpath_forced(enabled):
+                world = build_phy_world(
+                    [(0.0, 0.0), (10.0, 0.0)],
+                    sigma_db=5.0,
+                    shadowing_mode="per_link",
+                    seed=3,
+                )
+                first = _rx_powers(world, frames=2)
+                world.radios[1].move_to(Point(25.0, 0.0))
+                second = _rx_powers(world, frames=2)
+            return first, second
+
+        assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# Golden end-to-end equivalence
+# ----------------------------------------------------------------------
+def _node_counters(net):
+    out = {}
+    for node in net.nodes.values():
+        radio = node.radio
+        out[node.name] = (
+            radio.frames_transmitted,
+            radio.frames_received,
+            radio.frames_corrupted,
+            radio.frames_missed,
+        )
+    return out
+
+
+def _sparse_floor():
+    """Two saturated DCF cells 4 km apart (mini engine-bench floor)."""
+    params = ns2_params()
+    net = Network(params, mac_kind="dcf", seed=5)
+    flows = []
+    for i, cx in enumerate((0.0, 4_000.0)):
+        ap = net.add_ap(f"AP{i}", cx, 0.0)
+        for j in range(2):
+            c = net.add_client(f"C{i}-{j}", cx + 10.0 + j, 5.0, ap=ap)
+            flows.append((c, ap))
+    net.finalize()
+    for c, ap in flows:
+        net.add_saturated(c, ap)
+
+    class _Built:  # match BuiltScenario's .network shape
+        network = net
+
+    return _Built()
+
+
+class TestGoldenEquivalence:
+    def _compare(self, build, duration_s):
+        with hotpath_forced(True):
+            on = build()
+            results_on = on.network.run(duration_s)
+        with hotpath_forced(False):
+            off = build()
+            results_off = off.network.run(duration_s)
+        assert _node_counters(on.network) == _node_counters(off.network)
+        assert results_on.per_flow_mbps() == results_off.per_flow_mbps()
+        return on.network, off.network
+
+    def test_fig8_exposed_terminal(self):
+        def build():
+            return exposed_terminal_topology(
+                "comap", c2_x=20.0, seed=3, params=testbed_params()
+            )
+
+        net_on, net_off = self._compare(build, 0.25)
+        # Coalesced air notifications mean strictly fewer engine events
+        # for the same physics.
+        assert net_on.sim.events_fired < net_off.sim.events_fired
+
+    def test_fig10_office_floor(self):
+        def build():
+            return office_floor_topology(
+                "comap", topology_seed=1, seed=0, params=ns2_params()
+            )
+
+        net_on, net_off = self._compare(build, 0.2)
+        assert net_on.sim.events_fired < net_off.sim.events_fired
+
+    def test_sparse_floor(self):
+        net_on, net_off = self._compare(lambda: _sparse_floor(), 0.2)
+        assert net_on.sim.events_fired < net_off.sim.events_fired
