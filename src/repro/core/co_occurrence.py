@@ -10,11 +10,20 @@ The map starts empty and is built gradually as the network operates —
 no off-line site survey — which is why lookups distinguish *unknown*
 (``None``: compute via eq. 3 and insert) from *known-disallowed*
 (``False``: stay silent without recomputing).
+
+Entries carry the simulated time they were recorded at, which feeds two
+optional freshness mechanisms (both disabled by default so the map is a
+pure cache, exactly as before):
+
+* a hard TTL (:attr:`ttl_ns`) past which a verdict reverts to *unknown*;
+* staleness-aware confidence decay (:attr:`confidence_halflife_ns`):
+  confidence is ``0.5 ** (age / halflife)`` and a verdict below
+  :attr:`min_confidence` no longer counts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: A directed link on the air: (source, destination).
 Link = Tuple[int, int]
@@ -25,29 +34,83 @@ class CoOccurrenceMap:
 
     def __init__(self, owner_id: int) -> None:
         self.owner_id = owner_id
-        self._allowed: Dict[Link, Set[int]] = {}
-        self._denied: Dict[Link, Set[int]] = {}
+        # receiver -> simulated time (ns) the verdict was recorded at.
+        self._allowed: Dict[Link, Dict[int, int]] = {}
+        self._denied: Dict[Link, Dict[int, int]] = {}
         self.lookups = 0
         self.hits = 0
+        self.expired = 0
+        #: Hard expiry for verdicts (ns); ``None`` disables.
+        self.ttl_ns: Optional[int] = None
+        #: Confidence-decay half-life (ns); ``None`` disables decay.
+        self.confidence_halflife_ns: Optional[int] = None
+        #: Confidence floor for decayed verdicts.
+        self.min_confidence: float = 0.5
 
-    def query(self, link: Link, my_dst: int) -> Optional[bool]:
+    def _stale(self, recorded_at: int, now: Optional[int]) -> bool:
+        """True when a verdict recorded at ``recorded_at`` no longer counts."""
+        if now is None:
+            return False
+        age = now - recorded_at
+        if self.ttl_ns is not None and age > self.ttl_ns:
+            return True
+        if self.confidence_halflife_ns is not None and age > 0:
+            confidence = 0.5 ** (age / self.confidence_halflife_ns)
+            if confidence < self.min_confidence:
+                return True
+        return False
+
+    def confidence(self, link: Link, my_dst: int, now: int) -> Optional[float]:
+        """Decayed confidence of a stored verdict, or None if absent.
+
+        With no half-life configured a present entry has confidence 1.0.
+        """
+        for table in (self._allowed, self._denied):
+            recorded_at = table.get(link, {}).get(my_dst)
+            if recorded_at is not None:
+                if self.confidence_halflife_ns is None:
+                    return 1.0
+                age = max(0, now - recorded_at)
+                return 0.5 ** (age / self.confidence_halflife_ns)
+        return None
+
+    def query(self, link: Link, my_dst: int, now: Optional[int] = None) -> Optional[bool]:
         """Can I transmit to ``my_dst`` while ``link`` is on the air?
 
         Returns True/False when previously validated, None when unknown.
+        Passing ``now`` enables the freshness checks: a stale verdict is
+        dropped (counted in :attr:`expired`) and reported as unknown, so
+        the caller revalidates via eq. 3 and re-inserts a fresh entry.
         """
         self.lookups += 1
-        if my_dst in self._allowed.get(link, ()):
+        for table, verdict in ((self._allowed, True), (self._denied, False)):
+            receivers = table.get(link)
+            if receivers is None:
+                continue
+            recorded_at = receivers.get(my_dst)
+            if recorded_at is None:
+                continue
+            if self._stale(recorded_at, now):
+                del receivers[my_dst]
+                if not receivers:
+                    del table[link]
+                self.expired += 1
+                return None
             self.hits += 1
-            return True
-        if my_dst in self._denied.get(link, ()):
-            self.hits += 1
-            return False
+            return verdict
         return None
 
-    def record(self, link: Link, my_dst: int, allowed: bool) -> None:
+    def record(self, link: Link, my_dst: int, allowed: bool, now: int = 0) -> None:
         """Store the outcome of one concurrency validation."""
         bucket = self._allowed if allowed else self._denied
-        bucket.setdefault(link, set()).add(my_dst)
+        other = self._denied if allowed else self._allowed
+        # A revalidation may flip the verdict; never keep both.
+        stale_side = other.get(link)
+        if stale_side is not None:
+            stale_side.pop(my_dst, None)
+            if not stale_side:
+                del other[link]
+        bucket.setdefault(link, {})[my_dst] = now
 
     def concurrent_receivers(self, link: Link) -> List[int]:
         """All receivers validated as concurrency-safe with ``link``."""
@@ -61,16 +124,46 @@ class CoOccurrenceMap:
             for link in doomed:
                 removed += len(table[link])
                 del table[link]
+            emptied = []
             for link, receivers in table.items():
                 if node_id in receivers:
-                    receivers.discard(node_id)
+                    del receivers[node_id]
                     removed += 1
+                    if not receivers:
+                        emptied.append(link)
+            for link in emptied:
+                del table[link]
         return removed
 
     def clear(self) -> None:
         """Forget everything (the owner itself moved)."""
         self._allowed.clear()
         self._denied.clear()
+
+    def corrupt(self, rng, flip_prob: float = 1.0) -> int:
+        """Flip stored verdicts with ``flip_prob``; returns the flip count.
+
+        Models a corrupted control-plane update: an *allowed* entry
+        becomes *denied* and vice versa, keeping its timestamp.  The
+        iteration order is sorted, so the same ``rng`` state always
+        corrupts the same entries.
+        """
+        moves = []
+        for allowed, table in ((True, self._allowed), (False, self._denied)):
+            for link in sorted(table):
+                receivers = table[link]
+                for my_dst in sorted(receivers):
+                    if flip_prob >= 1.0 or rng.random() < flip_prob:
+                        moves.append((allowed, link, my_dst, receivers[my_dst]))
+        for allowed, link, my_dst, recorded_at in moves:
+            source = self._allowed if allowed else self._denied
+            target = self._denied if allowed else self._allowed
+            bucket = source[link]
+            del bucket[my_dst]
+            if not bucket:
+                del source[link]
+            target.setdefault(link, {})[my_dst] = recorded_at
+        return len(moves)
 
     @property
     def entry_count(self) -> int:

@@ -8,7 +8,7 @@ override the propagation and threshold fields through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 @dataclass
@@ -64,6 +64,24 @@ class CoMapConfig:
     payload_choices: Tuple[int, ...] = tuple(range(100, 2001, 100))
     max_hidden_terminals: int = 10
     max_contenders: int = 10
+    #: Freshness horizon (ns) for a node's *own* location report.  When
+    #: the node has not produced a position report within this window, the
+    #: MAC reverts to plain DCF until the location service recovers.
+    #: ``None`` (the default) disables staleness tracking entirely, which
+    #: keeps every pre-existing scenario bit-identical.
+    location_ttl_ns: Optional[int] = None
+    #: Hard expiry (ns) for co-occurrence-map verdicts.  Entries older
+    #: than this behave as *unknown* (recomputed on next use).  ``None``
+    #: disables expiry.
+    co_map_ttl_ns: Optional[int] = None
+    #: Staleness-aware confidence decay half-life (ns) for co-occurrence
+    #: entries.  An entry's confidence is ``0.5 ** (age / halflife)``;
+    #: once it drops below :attr:`co_map_min_confidence` the verdict is
+    #: treated as unknown.  ``None`` disables decay.
+    co_map_confidence_halflife_ns: Optional[int] = None
+    #: Confidence floor below which a decayed co-occurrence verdict no
+    #: longer counts (used only when a half-life is configured).
+    co_map_min_confidence: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 < self.t_prr < 1.0:
@@ -80,3 +98,9 @@ class CoMapConfig:
             raise ValueError("position update threshold cannot be negative")
         if not self.cw_choices or not self.payload_choices:
             raise ValueError("adaptation grids cannot be empty")
+        for name in ("location_ttl_ns", "co_map_ttl_ns", "co_map_confidence_halflife_ns"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set, got {value}")
+        if not 0.0 < self.co_map_min_confidence <= 1.0:
+            raise ValueError("co_map_min_confidence must lie in (0, 1]")

@@ -74,6 +74,39 @@ class NeighborTable:
             return None
         return pa.distance_to(pb)
 
+    def age_of(self, node_id: int, now: int) -> Optional[int]:
+        """Nanoseconds since ``node_id``'s entry was refreshed, or None."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return None
+        return max(0, now - entry.updated_at)
+
+    def is_fresh(self, node_id: int, now: int, ttl_ns: Optional[int]) -> bool:
+        """True when the entry exists and is within ``ttl_ns``.
+
+        A ``None`` TTL means freshness is not tracked: any present entry
+        counts as fresh (the pre-staleness behavior).
+        """
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return False
+        if ttl_ns is None:
+            return True
+        return now - entry.updated_at <= ttl_ns
+
+    def confidence(self, node_id: int, now: int, halflife_ns: Optional[int]) -> float:
+        """Staleness-decayed confidence in an entry: ``0.5 ** (age / halflife)``.
+
+        Returns 0.0 for unknown nodes and 1.0 when decay is disabled.
+        """
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return 0.0
+        if halflife_ns is None:
+            return 1.0
+        age = max(0, now - entry.updated_at)
+        return 0.5 ** (age / halflife_ns)
+
     def remove(self, node_id: int) -> bool:
         """Drop an entry (e.g. node left the network).  Returns True if present."""
         return self._entries.pop(node_id, None) is not None

@@ -60,6 +60,12 @@ class CoMapAgent:
         self.adaptation = adaptation
         self._last_reported_position: Optional[Point] = None
         self._announce_worthwhile: Dict[int, bool] = {}
+        self.stale_denials = 0
+        # Wire the optional co-occurrence freshness knobs (all None/off by
+        # default, so the map stays a pure cache unless explicitly enabled).
+        self.co_map.ttl_ns = config.co_map_ttl_ns
+        self.co_map.confidence_halflife_ns = config.co_map_confidence_halflife_ns
+        self.co_map.min_confidence = config.co_map_min_confidence
 
     # ------------------------------------------------------------------
     # Location exchange
@@ -106,19 +112,67 @@ class CoMapAgent:
         """Record that this node just broadcast ``position``."""
         self._last_reported_position = position
 
+    def forget_neighbor(self, node_id: int) -> None:
+        """Erase everything known about ``node_id`` (it left, or its
+        location input failed): neighbor row, cached PRR verdicts and
+        co-occurrence entries.  Announcement-worthwhile caches are
+        position-dependent, so they are dropped too.
+        """
+        self.neighbor_table.remove(node_id)
+        self.prr_table.invalidate_node(node_id)
+        self.co_map.invalidate_node(node_id)
+        self._announce_worthwhile.clear()
+
+    def location_stale(self, now: int) -> bool:
+        """Is this node's *own* location knowledge stale or absent?
+
+        Governed by :attr:`CoMapConfig.location_ttl_ns`; with the TTL
+        unset (the default) location input never goes stale, preserving
+        pre-staleness behavior bit-for-bit.
+        """
+        ttl = self.config.location_ttl_ns
+        if ttl is None:
+            return False
+        return not self.neighbor_table.is_fresh(self.node_id, now, ttl)
+
+    def neighbor_stale(self, node_id: int, now: int) -> bool:
+        """Is the stored position of ``node_id`` stale or absent?"""
+        ttl = self.config.location_ttl_ns
+        if ttl is None:
+            return False
+        return not self.neighbor_table.is_fresh(node_id, now, ttl)
+
     # ------------------------------------------------------------------
     # Exposed-terminal path
     # ------------------------------------------------------------------
     def concurrency_allowed(
-        self, ongoing_src: int, ongoing_dst: int, my_dst: int
+        self,
+        ongoing_src: int,
+        ongoing_dst: int,
+        my_dst: int,
+        now: Optional[int] = None,
     ) -> bool:
-        """Full lookup path: co-occurrence map, then eq. (3), then cache."""
+        """Full lookup path: co-occurrence map, then eq. (3), then cache.
+
+        Passing ``now`` activates the freshness machinery: expired
+        co-occurrence entries revert to unknown, and if the position of
+        any endpoint of the validation is stale (per
+        :attr:`CoMapConfig.location_ttl_ns`) the answer is a conservative
+        *deny* — not cached, counted in :attr:`stale_denials` — because
+        eq. (3) computed from stale coordinates could green-light a
+        transmission that now collides.
+        """
+        if now is not None and self.config.location_ttl_ns is not None:
+            for endpoint in (ongoing_src, ongoing_dst, self.node_id, my_dst):
+                if self.neighbor_stale(endpoint, now):
+                    self.stale_denials += 1
+                    return False
         link = (ongoing_src, ongoing_dst)
-        cached = self.co_map.query(link, my_dst)
+        cached = self.co_map.query(link, my_dst, now=now)
         if cached is not None:
             return cached
         result = self.validate(ongoing_src, ongoing_dst, my_dst)
-        self.co_map.record(link, my_dst, result.allowed)
+        self.co_map.record(link, my_dst, result.allowed, now=now if now is not None else 0)
         return result.allowed
 
     def validate(

@@ -53,13 +53,18 @@ when disabled: one env lookup and a handful of perf-counter reads per
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
+import signal
 import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -78,6 +83,12 @@ CACHE_ENV = "REPRO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Environment knob: record sweep progress into the global trace recorder.
 TRACE_ENV = "REPRO_TRACE_SWEEP"
+#: Environment knob: per-task wall-clock limit in seconds (float).
+TIMEOUT_ENV = "REPRO_TASK_TIMEOUT_S"
+#: Environment knob: bounded re-attempts for failed/timed-out tasks.
+RETRIES_ENV = "REPRO_TASK_RETRIES"
+#: Environment knob: "raise" (default) or "record" failed tasks.
+ON_ERROR_ENV = "REPRO_ON_ERROR"
 
 #: Bump when the cache payload format (not the keyed content) changes.
 CACHE_VERSION = 1
@@ -114,7 +125,49 @@ class SweepTask:
         return self.fn(**self.kwargs)
 
 
-def _execute_indexed(task: SweepTask) -> Tuple[Any, float]:
+class TaskTimeout(Exception):
+    """A sweep task exceeded its per-task wall-clock limit.
+
+    Raised *inside* the executing process (worker or parent) by the
+    :func:`_alarm` guard, so it pickles back through the pool like any
+    task exception and carries the task key for diagnostics.
+    """
+
+
+@contextlib.contextmanager
+def _alarm(timeout_s: Optional[float]):
+    """Bound a block's wall-clock time via ``SIGALRM``.
+
+    A no-op when no limit is set, when ``SIGALRM`` is unavailable
+    (Windows), or off the main thread (signal handlers can only be
+    installed there) — in those cases tasks simply run unbounded, the
+    pre-hardening behavior.  ``setitimer`` gives sub-second resolution
+    and the handler/timer are always restored, so nesting with user
+    code that uses alarms stays safe.
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise TaskTimeout(f"task exceeded {timeout_s:g}s wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_indexed(
+    task: SweepTask, timeout_s: Optional[float] = None
+) -> Tuple[Any, float]:
     """Run one task, returning (result, elapsed_s).
 
     Records a ``sweep/task_run`` event *in the executing process* (the
@@ -123,7 +176,8 @@ def _execute_indexed(task: SweepTask) -> Tuple[Any, float]:
     """
     trace = _sweep_trace()
     started = time.perf_counter()
-    result = task.execute()
+    with _alarm(timeout_s):
+        result = task.execute()
     elapsed = time.perf_counter() - started
     trace.record(
         "sweep", "task_run", key=task.key, pid=os.getpid(), elapsed_s=elapsed
@@ -131,7 +185,9 @@ def _execute_indexed(task: SweepTask) -> Tuple[Any, float]:
     return result, elapsed
 
 
-def _execute_shipping(task: SweepTask) -> Tuple[Any, float, list, Dict[str, Any]]:
+def _execute_shipping(
+    task: SweepTask, timeout_s: Optional[float] = None
+) -> Tuple[Any, float, list, Dict[str, Any]]:
     """Pool entry point: run one task and ship observability deltas.
 
     A worker process has its own module-global trace recorder and
@@ -147,7 +203,7 @@ def _execute_shipping(task: SweepTask) -> Tuple[Any, float, list, Dict[str, Any]
     dropped_base = recorder.dropped_events
     registry = global_registry()
     counters_base = registry.snapshot()
-    result, elapsed = _execute_indexed(task)
+    result, elapsed = _execute_indexed(task, timeout_s)
     # Ring-buffer aware slice: events dropped during the task shift the
     # baseline index left.
     shift = recorder.dropped_events - dropped_base
@@ -200,7 +256,14 @@ class ResultCache:
         return True, payload["result"]
 
     def put(self, digest: str, value: Any) -> None:
-        """Store a result; write atomically, swallow storage failures."""
+        """Store a result atomically; swallow storage failures.
+
+        The payload lands in a same-directory temp file, is flushed and
+        fsynced, and only then renamed over the final name — a process
+        killed mid-write leaves at worst an orphaned ``.tmp`` (reaped by
+        :meth:`clear`), never a truncated ``.json`` that a later run
+        could read as a corrupt entry.
+        """
         try:
             payload = json.dumps(
                 {"version": CACHE_VERSION, "key": digest, "result": value}
@@ -213,6 +276,8 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, self.path_for(digest))
             finally:
                 if os.path.exists(tmp):
@@ -221,17 +286,23 @@ class ResultCache:
             return  # read-only/full disk: caching is best-effort
 
     def clear(self) -> int:
-        """Delete all cache entries; returns the number removed."""
+        """Delete all cache entries; returns the number removed.
+
+        Also reaps ``.tmp`` orphans left by writers that died mid-put
+        (those never count toward the removed total — they were never
+        entries).
+        """
         removed = 0
         try:
             names = os.listdir(self.root)
         except OSError:
             return 0
         for name in names:
-            if name.endswith(".json"):
+            if name.endswith(".json") or name.endswith(".tmp"):
                 try:
                     os.unlink(os.path.join(self.root, name))
-                    removed += 1
+                    if name.endswith(".json"):
+                        removed += 1
                 except OSError:
                     pass
         return removed
@@ -252,6 +323,76 @@ def _env_cache() -> Optional[ResultCache]:
     if os.environ.get(CACHE_ENV, "0") == "1":
         return ResultCache()
     return None
+
+
+# ----------------------------------------------------------------------
+# Failure policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a sweep treats tasks that raise, hang, or kill their worker.
+
+    The default (no timeout, no retries, ``on_error="raise"``) is the
+    pre-hardening behavior: the first failure propagates.  With
+    ``on_error="record"`` a sweep becomes crash-tolerant: failed tasks
+    yield ``None`` results and structured :class:`TaskFailure` records
+    in the trace and run manifest, while every other task completes.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    on_error: str = "raise"
+
+
+def resolve_policy(
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    on_error: Optional[str] = None,
+) -> FailurePolicy:
+    """Explicit arguments win; the ``REPRO_TASK_*`` env knobs back-fill."""
+    if timeout_s is None:
+        env = os.environ.get(TIMEOUT_ENV, "")
+        try:
+            timeout_s = float(env) if env else None
+        except ValueError:
+            timeout_s = None
+    if retries is None:
+        env = os.environ.get(RETRIES_ENV, "")
+        try:
+            retries = int(env) if env else 0
+        except ValueError:
+            retries = 0
+    if on_error is None:
+        on_error = os.environ.get(ON_ERROR_ENV, "") or "raise"
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    return FailurePolicy(
+        timeout_s=timeout_s, retries=max(0, int(retries)), on_error=on_error
+    )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that failed after exhausting its retry budget."""
+
+    index: int
+    key: Tuple
+    #: "exception" (the task raised), "timeout" (wall-clock limit), or
+    #: "broken_pool" (the task repeatedly killed its worker process).
+    kind: str
+    error: str
+    attempts: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": obs_manifest.jsonable(self.key),
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -286,19 +427,35 @@ def run_tasks(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     label: str = "sweep",
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> List[Any]:
     """Execute ``tasks`` and return their results in task order.
 
     Results are a pure function of each task record, so the output is
-    bit-identical for every ``jobs`` value.  ``cache=None`` consults
-    ``$REPRO_CACHE`` (off by default); a provided :class:`ResultCache`
-    is always used.
+    bit-identical for every ``jobs`` value — including across retries: a
+    re-attempted task re-derives the *same* seed from the same record,
+    so a retry that succeeds is indistinguishable from a first-try
+    success.  ``cache=None`` consults ``$REPRO_CACHE`` (off by default);
+    a provided :class:`ResultCache` is always used.
+
+    ``timeout_s``/``retries``/``on_error`` build a
+    :class:`FailurePolicy` (env knobs ``REPRO_TASK_TIMEOUT_S``,
+    ``REPRO_TASK_RETRIES``, ``REPRO_ON_ERROR`` back-fill unset
+    arguments).  With ``on_error="record"``, failed tasks return
+    ``None`` in the result list and are recorded as ``sweep/task_failed``
+    trace events plus ``failures`` entries in the run manifest; a worker
+    process dying (``BrokenProcessPool``) respawns the pool and resumes
+    the unfinished tasks rather than aborting the sweep.  Failed tasks
+    are never cached.
     """
     tasks = list(tasks)
     trace = _sweep_trace()
     if cache is None:
         cache = _env_cache()
     jobs = resolve_jobs(jobs)
+    policy = resolve_policy(timeout_s, retries, on_error)
     profiler = maybe_profiler()
     if profiler is not None:
         profiler.start()
@@ -328,7 +485,7 @@ def run_tasks(
     )
 
     exec_started = time.perf_counter()
-    completed = _run_pending(tasks, pending, jobs, label, trace)
+    completed, failures = _run_pending(tasks, pending, jobs, label, trace, policy)
     exec_elapsed = time.perf_counter() - exec_started
     trace.record(
         "sweep", "phase", label=label, phase="execute",
@@ -341,6 +498,11 @@ def run_tasks(
         trace.record(
             "sweep", "task_done", label=label, key=tasks[index].key,
             elapsed_s=elapsed,
+        )
+    for failure in failures:
+        trace.record(
+            "sweep", "task_failed", label=label, key=failure.key,
+            kind=failure.kind, attempts=failure.attempts, error=failure.error,
         )
     wall_s = time.perf_counter() - sweep_started
     trace.record("sweep", "done", label=label, tasks=len(tasks), elapsed_s=wall_s)
@@ -356,6 +518,9 @@ def run_tasks(
         _write_sweep_manifest(
             manifest_dir, label=label, tasks=tasks, jobs=jobs, wall_s=wall_s,
             cache=cache, trace=trace, profile=profile_block,
+            failures=[failure.as_dict() for failure in failures]
+            if policy.on_error == "record"
+            else None,
         )
     return results
 
@@ -369,6 +534,7 @@ def _write_sweep_manifest(
     cache: Optional[ResultCache],
     trace,
     profile: Optional[Dict[str, Any]] = None,
+    failures: Optional[List[Dict[str, Any]]] = None,
 ) -> Optional[str]:
     """Write this sweep's run manifest; storage failures are non-fatal."""
     task_rows = []
@@ -403,6 +569,7 @@ def _write_sweep_manifest(
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
         profile=profile,
+        failures=failures,
     )
     try:
         return obs_manifest.write_manifest(manifest, directory)
@@ -416,13 +583,14 @@ def _run_pending(
     jobs: int,
     label: str,
     trace,
-) -> Dict[int, Tuple[Any, float]]:
+    policy: FailurePolicy,
+) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
     """Run the not-yet-cached tasks, parallel when possible."""
     if not pending:
-        return {}
+        return {}, []
     if jobs > 1 and len(pending) > 1 and _picklable(tasks[pending[0]]):
         try:
-            return _run_parallel(tasks, pending, jobs)
+            return _run_parallel(tasks, pending, jobs, policy)
         except (pickle.PicklingError, AttributeError, TypeError, OSError) as exc:
             # Unpicklable mid-batch task, missing fork support, dead
             # worker... — the sweep must finish either way.
@@ -430,7 +598,7 @@ def _run_pending(
                 "sweep", "serial_fallback", label=label,
                 reason=f"{type(exc).__name__}: {exc}",
             )
-    return {index: _execute_indexed(tasks[index]) for index in pending}
+    return _run_serial(tasks, pending, policy)
 
 
 def _picklable(task: SweepTask) -> bool:
@@ -441,32 +609,178 @@ def _picklable(task: SweepTask) -> bool:
         return False
 
 
-def _run_parallel(
-    tasks: Sequence[SweepTask], pending: List[int], jobs: int
-) -> Dict[int, Tuple[Any, float]]:
-    workers = min(jobs, len(pending))
-    # ~4 chunks per worker balances dispatch overhead against stragglers.
-    chunksize = max(1, len(pending) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(
-            pool.map(
-                _execute_shipping,
-                [tasks[index] for index in pending],
-                chunksize=chunksize,
+def _fail_or_retry(
+    task: SweepTask,
+    index: int,
+    kind: str,
+    exc: BaseException,
+    attempts: Dict[int, int],
+    policy: FailurePolicy,
+    requeue: List[int],
+    failures: Dict[int, TaskFailure],
+) -> None:
+    """Shared post-attempt bookkeeping for serial and pooled execution.
+
+    The attempt has already been charged.  Budget left → requeue the
+    *identical* task record (same derived seed, so a successful retry is
+    bit-identical to a first-try success).  Budget exhausted →
+    ``on_error="raise"`` propagates the original exception (the
+    pre-hardening contract), ``"record"`` files a structured failure.
+    """
+    if attempts[index] <= policy.retries:
+        requeue.append(index)
+        return
+    if policy.on_error == "raise":
+        raise exc
+    failures[index] = TaskFailure(
+        index=index,
+        key=task.key,
+        kind=kind,
+        error=f"{type(exc).__name__}: {exc}",
+        attempts=attempts[index],
+    )
+
+
+def _run_serial(
+    tasks: Sequence[SweepTask], pending: List[int], policy: FailurePolicy
+) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
+    """In-process execution honoring the same failure policy as the pool."""
+    completed: Dict[int, Tuple[Any, float]] = {}
+    failures: Dict[int, TaskFailure] = {}
+    attempts = {index: 0 for index in pending}
+    queue = deque(pending)
+    while queue:
+        index = queue.popleft()
+        attempts[index] += 1
+        requeue: List[int] = []
+        try:
+            completed[index] = _execute_indexed(tasks[index], policy.timeout_s)
+        except TaskTimeout as exc:
+            _fail_or_retry(
+                tasks[index], index, "timeout", exc, attempts, policy,
+                requeue, failures,
             )
-        )
-    # Merge each worker's shipped trace/counter deltas into this
-    # process's globals — without this, everything recorded inside the
-    # pool would die with the workers.
+        except Exception as exc:
+            _fail_or_retry(
+                tasks[index], index, "exception", exc, attempts, policy,
+                requeue, failures,
+            )
+        queue.extend(requeue)
+    return completed, [failures[index] for index in sorted(failures)]
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask],
+    pending: List[int],
+    jobs: int,
+    policy: FailurePolicy,
+) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
+    """Pooled execution that survives raising, hanging, and dying tasks.
+
+    Tasks are submitted individually (not chunked ``map``) so one bad
+    task fails alone.  A :class:`BrokenProcessPool` — a worker died —
+    respawns the pool and resumes every unfinished task *without*
+    charging their retry budgets (the victim tasks did nothing wrong).
+    If the pool keeps breaking (>2 times) the remaining tasks run one
+    per single-worker pool, where a break is attributable to the task
+    it ran and *is* charged, bounding the total number of respawns.
+
+    ``pickle.PicklingError`` always re-raises so :func:`_run_pending`
+    can fall back to the serial path, exactly as before the hardening.
+    """
+    workers = min(jobs, len(pending))
+    completed: Dict[int, Tuple[Any, float]] = {}
+    failures: Dict[int, TaskFailure] = {}
+    attempts = {index: 0 for index in pending}
+    remaining = deque(pending)
+    pool_breaks = 0
     recorder = global_recorder()
     registry = global_registry()
-    completed: Dict[int, Tuple[Any, float]] = {}
-    for index, (value, elapsed, events_payload, counter_delta) in zip(
-        pending, outcomes
-    ):
+
+    def merge(index: int, outcome) -> None:
+        # Merge each worker's shipped trace/counter deltas into this
+        # process's globals — without this, everything recorded inside
+        # the pool would die with the workers.
+        value, elapsed, events_payload, counter_delta = outcome
         if events_payload:
             recorder.merge(events_from_payload(events_payload))
         if counter_delta:
             registry.merge_snapshot(counter_delta)
         completed[index] = (value, elapsed)
-    return completed
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while remaining and pool_breaks <= 2:
+            batch = sorted(remaining)
+            remaining.clear()
+            futures = {}
+            for index in batch:
+                attempts[index] += 1
+                futures[
+                    pool.submit(_execute_shipping, tasks[index], policy.timeout_s)
+                ] = index
+            requeue: List[int] = []
+            broken = False
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    merge(index, future.result())
+                except pickle.PicklingError:
+                    raise  # serial fallback handles the whole batch
+                except BrokenProcessPool:
+                    # The worker died under this task — maybe its own
+                    # doing, maybe a sibling's.  Resume without charging.
+                    attempts[index] -= 1
+                    requeue.append(index)
+                    broken = True
+                except TaskTimeout as exc:
+                    _fail_or_retry(
+                        tasks[index], index, "timeout", exc, attempts,
+                        policy, requeue, failures,
+                    )
+                except Exception as exc:
+                    _fail_or_retry(
+                        tasks[index], index, "exception", exc, attempts,
+                        policy, requeue, failures,
+                    )
+            if broken:
+                pool_breaks += 1
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=workers)
+            remaining.extend(requeue)
+    finally:
+        pool.shutdown(wait=False)
+
+    # Isolation mode: the pool broke repeatedly, so some task is killing
+    # its worker.  One task per throwaway single-worker pool pins the
+    # blame and charges it, so a crashing task cannot respawn forever.
+    while remaining:
+        index = remaining.popleft()
+        attempts[index] += 1
+        requeue: List[int] = []
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                outcome = solo.submit(
+                    _execute_shipping, tasks[index], policy.timeout_s
+                ).result()
+            merge(index, outcome)
+        except pickle.PicklingError:
+            raise
+        except BrokenProcessPool as exc:
+            _fail_or_retry(
+                tasks[index], index, "broken_pool", exc, attempts, policy,
+                requeue, failures,
+            )
+        except TaskTimeout as exc:
+            _fail_or_retry(
+                tasks[index], index, "timeout", exc, attempts, policy,
+                requeue, failures,
+            )
+        except Exception as exc:
+            _fail_or_retry(
+                tasks[index], index, "exception", exc, attempts, policy,
+                requeue, failures,
+            )
+        remaining.extend(requeue)
+
+    return completed, [failures[index] for index in sorted(failures)]

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for robustness experiments.
+
+See ``docs/robustness.md`` for the fault taxonomy, the determinism
+guarantees, and how CO-MAP degrades gracefully while faults are active.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    DEFAULT_REPORT_INTERVAL_NS,
+    AckLossBurst,
+    AnnouncementLoss,
+    BeaconLoss,
+    CoMapCorruption,
+    CoMapExpiry,
+    FaultPlan,
+    FaultSpec,
+    FrozenLocation,
+    LocationDrift,
+    LocationOutage,
+    NodeChurn,
+)
+
+__all__ = [
+    "AckLossBurst",
+    "AnnouncementLoss",
+    "BeaconLoss",
+    "CoMapCorruption",
+    "CoMapExpiry",
+    "DEFAULT_REPORT_INTERVAL_NS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FrozenLocation",
+    "LocationDrift",
+    "LocationOutage",
+    "NodeChurn",
+]

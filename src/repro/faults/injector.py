@@ -1,0 +1,310 @@
+"""Deterministic, schedule-driven fault injection.
+
+The :class:`FaultInjector` turns a declarative
+:class:`repro.faults.schedule.FaultPlan` into concrete simulator events
+and MAC/network hooks:
+
+* **Location-service faults** run through a periodic *keep-alive
+  ticker*.  When the plan contains any location fault the injector
+  becomes the location service: each ``report_interval_ns`` it
+  republishes every CO-MAP node's last reported position — except where
+  a spec suppresses (outage), repeats stale coordinates (frozen), drops
+  (beacon loss), or biases (drift) the report.  Without keep-alives a
+  configured ``location_ttl_ns`` would age *healthy* nodes into
+  fallback too.
+* **Control-plane faults** hook the MAC receive path (``fault_hooks``)
+  for ACK and announcement loss, and schedule point events for
+  co-occurrence map expiry/corruption.
+* **Churn** schedules :meth:`Network.detach_node` /
+  :meth:`Network.reattach_node` pairs.
+
+Determinism: every probabilistic decision draws from
+``RngStreams.substream("fault", kind, node_name)`` — content-addressed
+streams that exist only because the plan asked for them, so runs with
+faults disabled (or an empty plan) consume zero extra randomness and
+stay bit-identical to runs without an injector.  Probabilities >= 1
+short-circuit without consuming a draw, so raising a drop probability
+to certainty cannot shift later draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.faults.schedule import (
+    AckLossBurst,
+    AnnouncementLoss,
+    BeaconLoss,
+    CoMapCorruption,
+    CoMapExpiry,
+    FaultPlan,
+    FrozenLocation,
+    LocationDrift,
+    LocationOutage,
+    NodeChurn,
+)
+from repro.mac.frames import FrameType
+from repro.util.geometry import Point
+
+
+class FaultInjector:
+    """Realizes one :class:`FaultPlan` against one finalized network."""
+
+    def __init__(self, network, plan: FaultPlan) -> None:
+        if not network._finalized:
+            raise RuntimeError("install faults after Network.finalize()")
+        for name in plan.node_names:
+            if name not in network.nodes_by_name:
+                raise ValueError(f"fault plan targets unknown node {name!r}")
+        self.network = network
+        self.plan = plan
+        self.sim = network.sim
+        self._installed = False
+        self._counters: Dict[str, int] = {
+            "reports_suppressed": 0,
+            "reports_frozen": 0,
+            "reports_dropped": 0,
+            "drift_applied": 0,
+            "acks_dropped": 0,
+            "announcements_dropped": 0,
+            "comap_entries_expired": 0,
+            "comap_entries_corrupted": 0,
+            "churn_leaves": 0,
+            "churn_joins": 0,
+        }
+        # Per-node spec indexes, keyed the way each hook needs them.
+        self._location_specs: Dict[str, Tuple] = {}
+        self._ack_specs: Dict[int, Tuple[AckLossBurst, ...]] = {}
+        self._announce_specs: Dict[int, Tuple[AnnouncementLoss, ...]] = {}
+        self._names_by_id: Dict[int, str] = {}
+        #: Window-start reported position per active drift spec (lazily
+        #: captured at the first tick inside the window, so the drift
+        #: biases whatever the node last reported, not its true spot).
+        self._drift_base: Dict[Tuple[str, int], Point] = {}
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Register counters/hooks and schedule every planned fault."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        # Counters are registered even for an empty plan, so manifests
+        # always show the faults/ namespace (at zero) once an injector
+        # is attached — "no faults fired" is then an explicit statement.
+        self.network.registry.register_source("faults", self._read_counters)
+
+        for name in self.plan.node_names:
+            node = self.network.nodes_by_name[name]
+            specs = self.plan.for_node(name)
+            location = tuple(
+                s
+                for s in specs
+                if isinstance(
+                    s, (LocationOutage, FrozenLocation, BeaconLoss, LocationDrift)
+                )
+            )
+            if location:
+                self._location_specs[name] = location
+            acks = tuple(s for s in specs if isinstance(s, AckLossBurst))
+            announces = tuple(s for s in specs if isinstance(s, AnnouncementLoss))
+            if acks:
+                self._ack_specs[node.node_id] = acks
+            if announces:
+                self._announce_specs[node.node_id] = announces
+            if acks or announces:
+                node.mac.fault_hooks = self
+                self._names_by_id[node.node_id] = name
+            for spec in specs:
+                if isinstance(spec, CoMapExpiry):
+                    self.sim.schedule_at(
+                        spec.at_ns, lambda s=spec: self._expire_co_map(s)
+                    )
+                elif isinstance(spec, CoMapCorruption):
+                    self.sim.schedule_at(
+                        spec.at_ns, lambda s=spec: self._corrupt_co_map(s)
+                    )
+                elif isinstance(spec, NodeChurn):
+                    self.sim.schedule_at(
+                        spec.leave_ns, lambda s=spec: self._leave(s)
+                    )
+                    self.sim.schedule_at(
+                        spec.rejoin_ns, lambda s=spec: self._rejoin(s)
+                    )
+
+        if self.plan.has_location_faults:
+            self.network.fault_filter = self
+            self.sim.schedule(self.plan.report_interval_ns, self._tick)
+
+    def _read_counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the injector's fault counters."""
+        return dict(self._counters)
+
+    def _rng(self, kind: str, node: str):
+        return self.network.rngs.substream("fault", kind, node)
+
+    def _trace(self, event: str, **fields) -> None:
+        if self.network.trace.wants("faults"):
+            self.network.trace.record("faults", event, **fields)
+
+    # ------------------------------------------------------------------
+    # Location-service faults (keep-alive ticker + report filter)
+    # ------------------------------------------------------------------
+    def _active(self, name: str, cls, now: int):
+        for spec in self._location_specs.get(name, ()):
+            if isinstance(spec, cls) and spec.active(now):
+                return spec
+        return None
+
+    def allow_report(self, node, now: int) -> bool:
+        """Veto scenario-driven position reports under active faults.
+
+        During outage/frozen/drift windows the injector owns the node's
+        reporting (the ticker publishes what the faulty service would);
+        under beacon loss, scenario reports face the same Bernoulli drop
+        as keep-alives.
+        """
+        name = node.name
+        if (
+            self._active(name, LocationOutage, now) is not None
+            or self._active(name, FrozenLocation, now) is not None
+            or self._active(name, LocationDrift, now) is not None
+        ):
+            self._counters["reports_suppressed"] += 1
+            self._trace("report_suppressed", node=node.node_id)
+            return False
+        beacon = self._active(name, BeaconLoss, now)
+        if beacon is not None and self._bernoulli("beacon", name, beacon.drop_prob):
+            self._counters["reports_dropped"] += 1
+            self._trace("report_dropped", node=node.node_id)
+            return False
+        return True
+
+    def _bernoulli(self, kind: str, name: str, prob: float) -> bool:
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True  # certainty never consumes a draw
+        return self._rng(kind, name).random() < prob
+
+    def _tick(self) -> None:
+        """One keep-alive pass over every attached CO-MAP node."""
+        now = self.sim.now
+        net = self.network
+        for node_id in sorted(net.nodes):
+            node = net.nodes[node_id]
+            if node.agent is None or node_id in net._detached:
+                continue
+            reported = net._reported_positions.get(node_id)
+            if reported is None:
+                continue
+            name = node.name
+            if self._active(name, LocationOutage, now) is not None:
+                self._counters["reports_suppressed"] += 1
+                self._trace("report_suppressed", node=node_id)
+                continue
+            drift = self._active(name, LocationDrift, now)
+            if drift is not None:
+                net.publish_report(node, self._drifted(drift, reported, now))
+                self._counters["drift_applied"] += 1
+                self._trace("report_drifted", node=node_id)
+                continue
+            frozen = self._active(name, FrozenLocation, now)
+            if frozen is not None:
+                # Refresh freshness with the stale pre-window position.
+                net.publish_report(node, reported)
+                self._counters["reports_frozen"] += 1
+                self._trace("report_frozen", node=node_id)
+                continue
+            beacon = self._active(name, BeaconLoss, now)
+            if beacon is not None and self._bernoulli(
+                "beacon", name, beacon.drop_prob
+            ):
+                self._counters["reports_dropped"] += 1
+                self._trace("report_dropped", node=node_id)
+                continue
+            net.publish_report(node, reported)  # healthy keep-alive
+        self.sim.schedule(self.plan.report_interval_ns, self._tick)
+
+    def _drifted(self, spec: LocationDrift, reported: Point, now: int) -> Point:
+        import math
+
+        key = (spec.node, spec.start_ns)
+        base = self._drift_base.get(key)
+        if base is None:
+            base = self._drift_base[key] = reported
+        elapsed_s = (now - spec.start_ns) / 1e9
+        distance = spec.rate_mps * elapsed_s
+        heading = math.radians(spec.heading_deg)
+        return Point(
+            base.x + distance * math.cos(heading),
+            base.y + distance * math.sin(heading),
+        )
+
+    # ------------------------------------------------------------------
+    # Control-plane faults (MAC receive hooks + scheduled map damage)
+    # ------------------------------------------------------------------
+    def drop_rx(self, node_id: int, frame) -> bool:
+        """``DcfMac.on_frame_received`` hook: lose the frame entirely."""
+        if frame.kind is not FrameType.ACK or frame.dst != node_id:
+            return False
+        now = self.sim.now
+        for spec in self._ack_specs.get(node_id, ()):
+            if spec.active(now):
+                name = self._names_by_id[node_id]
+                if self._bernoulli("ack", name, spec.drop_prob):
+                    self._counters["acks_dropped"] += 1
+                    self._trace("ack_dropped", node=node_id, seq=frame.seq)
+                    return True
+        return False
+
+    def drop_announcement(self, node_id: int, frame) -> bool:
+        """``CoMapMac.on_header_overheard`` hook: lose the announcement."""
+        now = self.sim.now
+        for spec in self._announce_specs.get(node_id, ()):
+            if spec.active(now):
+                name = self._names_by_id[node_id]
+                if self._bernoulli("announce", name, spec.drop_prob):
+                    self._counters["announcements_dropped"] += 1
+                    self._trace("announcement_dropped", node=node_id)
+                    return True
+        return False
+
+    def _expire_co_map(self, spec: CoMapExpiry) -> None:
+        agent = self.network.nodes_by_name[spec.node].agent
+        if agent is None:
+            return
+        expired = agent.co_map.entry_count
+        agent.co_map.clear()
+        self._counters["comap_entries_expired"] += expired
+        self._trace("co_map_expired", node=spec.node, entries=expired)
+
+    def _corrupt_co_map(self, spec: CoMapCorruption) -> None:
+        agent = self.network.nodes_by_name[spec.node].agent
+        if agent is None:
+            return
+        flipped = agent.co_map.corrupt(
+            self._rng("corrupt", spec.node), spec.flip_prob
+        )
+        self._counters["comap_entries_corrupted"] += flipped
+        self._trace("co_map_corrupted", node=spec.node, entries=flipped)
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def _leave(self, spec: NodeChurn) -> None:
+        node = self.network.nodes_by_name[spec.node]
+        self.network.detach_node(node)
+        self._counters["churn_leaves"] += 1
+        self._trace("node_left", node=node.node_id)
+
+    def _rejoin(self, spec: NodeChurn) -> None:
+        node = self.network.nodes_by_name[spec.node]
+        self.network.reattach_node(node)
+        self._counters["churn_joins"] += 1
+        self._trace("node_rejoined", node=node.node_id)

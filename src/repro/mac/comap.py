@@ -111,6 +111,12 @@ class CoMapStats:
     #: reports refresh only the MACs that observed the move, so this
     #: counter is how tests assert unrelated MACs stay untouched.
     adaptation_refreshes: int = 0
+    #: Graceful-degradation fallback (stale/absent location input):
+    #: transitions into plain-DCF operation, transitions back out, and
+    #: data frames transmitted while degraded.
+    fallback_entered: int = 0
+    fallback_exited: int = 0
+    fallback_tx_frames: int = 0
 
     def as_counter_dict(self) -> Dict[str, int]:
         """Registry-source view (all fields are scalar counters)."""
@@ -158,6 +164,7 @@ class CoMapMac(DcfMac):
             agent.model.propagation.sigma_db
         )
         self._advised_payload: Optional[int] = None
+        self._fallback_active = False
         self._sr_senders: Dict[FlowId, SrSender] = {}
         self._sr_receivers: Dict[FlowId, SrReceiver] = {}
         # The carrier-sense quantum T'_cs: the part of T_cs that is not
@@ -170,7 +177,50 @@ class CoMapMac(DcfMac):
         """Add the CO-MAP and selective-repeat counters to the registry."""
         super().register_counters(registry)
         registry.register_source("comap", self.comap_stats.as_counter_dict)
+        registry.register_source("comap", self._degradation_counters)
         registry.register_source("arq", self._arq_counters)
+
+    def _degradation_counters(self) -> Dict[str, int]:
+        """Staleness counters kept on the agent, merged under ``comap/``."""
+        return {
+            "stale_denials": self.agent.stale_denials,
+            "co_map_expired": self.agent.co_map.expired,
+        }
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (fallback to plain DCF on stale location)
+    # ------------------------------------------------------------------
+    def _degraded(self) -> bool:
+        """True while this node's location input is stale or absent.
+
+        With :attr:`CoMapConfig.location_ttl_ns` unset (the default) this
+        is a constant ``False`` and every CO-MAP mechanism behaves exactly
+        as before.  Transitions are edge-detected: on entering fallback
+        the MAC sheds all location-derived state whose staleness could
+        hurt it — the live opportunity, the pinned contention window and
+        the advised payload — so its backoff behavior matches plain DCF
+        until the location service recovers.
+        """
+        agent = self.agent
+        if agent.config.location_ttl_ns is None:
+            return False
+        stale = agent.location_stale(self.sim.now)
+        if stale and not self._fallback_active:
+            self._fallback_active = True
+            self.comap_stats.fallback_entered += 1
+            self._clear_opportunity()
+            self.config.constant_cw = None
+            self._advised_payload = None
+            if self._state is MacState.CONTEND and self.radio.medium_busy():
+                self._freeze_contention()
+            if self.trace.wants("comap"):
+                self.trace.record("comap", "fallback_enter", node=self.node_id)
+        elif not stale and self._fallback_active:
+            self._fallback_active = False
+            self.comap_stats.fallback_exited += 1
+            if self.trace.wants("comap"):
+                self.trace.record("comap", "fallback_exit", node=self.node_id)
+        return self._fallback_active
 
     def _arq_counters(self) -> Dict[str, int]:
         """Aggregate :class:`SrSender` counters across this node's flows."""
@@ -193,6 +243,10 @@ class CoMapMac(DcfMac):
         """
         if not self.config.enable_adaptation or self.agent.adaptation is None:
             return None
+        if self._degraded():
+            # Stale positions would mis-estimate (N_ht, c); keep whatever
+            # advice fallback entry already cleared (plain-DCF behavior).
+            return None
         if not receivers:
             return None
         self.comap_stats.adaptation_refreshes += 1
@@ -214,7 +268,7 @@ class CoMapMac(DcfMac):
 
     def preferred_payload(self) -> Optional[int]:
         """Advised MSDU size from the (N_ht, c) lookup, if adaptation ran."""
-        if self.config.enable_adaptation:
+        if self.config.enable_adaptation and not self._degraded():
             return self._advised_payload
         return None
 
@@ -230,6 +284,11 @@ class CoMapMac(DcfMac):
         higher data rate could be adapted if it is located further away
         from the ongoing transmission".
         """
+        if self._degraded():
+            # Plain-DCF fallback: no announcement header, no exposed-rate
+            # reasoning from (stale) positions.
+            self.comap_stats.fallback_tx_frames += 1
+            return [self._build_data_frame(head, rate)]
         if self._transmitting_exposed and self._exposed_link is not None:
             rate = self._exposed_rate(head.dst, rate)
         elif self.config.persistent_exposure:
@@ -273,8 +332,14 @@ class CoMapMac(DcfMac):
         — the announced data frame itself, partially decoded while still
         in the air.
         """
+        if self.fault_hooks is not None and self.fault_hooks.drop_announcement(
+            self.node_id, frame
+        ):
+            return
         if not self.config.enable_concurrency:
             return
+        if self._degraded():
+            return  # stale positions cannot validate concurrency
         if frame.dst == self.node_id:
             return  # our own incoming traffic, not an opportunity
         self._remember_signature((frame.src, frame.dst), rssi_dbm)
@@ -320,7 +385,8 @@ class CoMapMac(DcfMac):
     def _aim_at_concurrent_receiver(self, link) -> bool:
         """Validate the head's receiver; APs may switch to another queued one."""
         assert self._head is not None
-        if self.agent.concurrency_allowed(link[0], link[1], self._head.dst):
+        now = self.sim.now
+        if self.agent.concurrency_allowed(link[0], link[1], self._head.dst, now=now):
             return True
         # "It may choose another receiver further away from the current
         # transmitter and verify again" — scan the queue for a different
@@ -328,7 +394,7 @@ class CoMapMac(DcfMac):
         for index, mpdu in enumerate(self._queue):
             if mpdu.dst == self._head.dst:
                 continue
-            if self.agent.concurrency_allowed(link[0], link[1], mpdu.dst):
+            if self.agent.concurrency_allowed(link[0], link[1], mpdu.dst, now=now):
                 del self._queue[index]
                 self._queue.appendleft(self._head)
                 self._head = mpdu
@@ -428,6 +494,8 @@ class CoMapMac(DcfMac):
         """
         if self.radio.transmitting:
             return False
+        if self._degraded():
+            return False  # plain DCF: every busy medium freezes the count
         if self._opportunity is not None:
             return True
         return self._try_signature_opportunity()
@@ -457,7 +525,9 @@ class CoMapMac(DcfMac):
                 continue  # more power in the air than that link alone emits
             if link[0] == self._head.dst or link[1] == self._head.dst:
                 continue
-            if not self.agent.concurrency_allowed(link[0], link[1], self._head.dst):
+            if not self.agent.concurrency_allowed(
+                link[0], link[1], self._head.dst, now=now
+            ):
                 continue
             opportunity = _Opportunity(
                 link,
@@ -552,7 +622,7 @@ class CoMapMac(DcfMac):
 
     def co_occurrence_cached(self, link, dst):
         """Cached-only co-occurrence lookup (no fresh validation)."""
-        return self.agent.co_map.query(link, dst)
+        return self.agent.co_map.query(link, dst, now=self.sim.now)
 
     def _report_rate_outcome(self, dst: int, success: bool) -> None:
         """Keep exposed-transmission outcomes out of the rate controller.
@@ -624,10 +694,15 @@ class CoMapMac(DcfMac):
         stop-and-wait with exponential backoff handles those.
         """
         assert self._head is not None
+        if self.config.sr_window <= 1 or self._degraded():
+            # Degraded: no concurrency is being attempted, so a missing
+            # ACK means collision/bad channel — plain stop-and-wait BEB.
+            super()._handle_ack_timeout(frame)
+            return
         concurrency_loss = frame.meta.get("exposed") or self._in_concurrency_environment(
             frame.dst
         )
-        if self.config.sr_window <= 1 or not concurrency_loss:
+        if not concurrency_loss:
             super()._handle_ack_timeout(frame)
             return
         head = self._head
@@ -662,6 +737,17 @@ class CoMapMac(DcfMac):
                         self.comap_stats.sr_retransmissions += 1
                         return entry[1]
         return super()._select_next()
+
+    def suspend(self) -> None:
+        """Churn: also shed all exposure state when leaving the network."""
+        if self._suspended:
+            return
+        self._clear_opportunity()
+        self._link_signatures.clear()
+        self._transmitting_exposed = False
+        self._exposed_link = None
+        self._last_attempt_exposed = False
+        super().suspend()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CoMapMac node={self.node_id} state={self._state.value}>"

@@ -149,6 +149,11 @@ class MacState(enum.Enum):
 class DcfMac:
     """An 802.11 DCF MAC entity bound to one :class:`Radio`."""
 
+    #: Optional fault-injection hooks (see :mod:`repro.faults`).  ``None``
+    #: (the class default) keeps the receive path branch-light: a single
+    #: attribute check per decoded frame, no draws, no behavior change.
+    fault_hooks = None
+
     def __init__(
         self,
         node_id: int,
@@ -188,6 +193,7 @@ class DcfMac:
         self._need_eifs = False
         self._tx_train: List[Frame] = []
         self._rts_data_frame: Optional[Frame] = None
+        self._suspended = False
         self._tx_seq = itertools.count(0)
         self._seq_by_flow: Dict[FlowId, itertools.count] = {}
         self._rx_seen: Dict[FlowId, Set[int]] = {}
@@ -239,7 +245,7 @@ class DcfMac:
         )
         self._queue.append(mpdu)
         self.stats.enqueued += 1
-        if self._state is MacState.IDLE:
+        if self._state is MacState.IDLE and not self._suspended:
             self._start_next()
         return True
 
@@ -519,6 +525,8 @@ class DcfMac:
     # ------------------------------------------------------------------
     def on_tx_complete(self, frame: Frame) -> None:
         """Radio callback: our own frame finished its airtime."""
+        if self._suspended:
+            return  # detached mid-flight; suspend() already reset the machine
         if frame.kind is FrameType.ACK or frame.kind is FrameType.CTS:
             self._after_control_tx()
             return
@@ -553,6 +561,8 @@ class DcfMac:
 
     def on_frame_received(self, frame: Frame, rssi_dbm: float) -> None:
         """Radio callback: a frame was decoded successfully."""
+        if self.fault_hooks is not None and self.fault_hooks.drop_rx(self.node_id, frame):
+            return
         if frame.kind is FrameType.DATA:
             if frame.dst == self.node_id:
                 self._accept_data(frame, rssi_dbm)
@@ -660,6 +670,64 @@ class DcfMac:
         self._head = None
         self._state = MacState.IDLE
         self._start_next()
+
+    # ------------------------------------------------------------------
+    # Churn: suspend / resume (node leaving and re-joining mid-run)
+    # ------------------------------------------------------------------
+    def _cancel_timers(self) -> None:
+        """Cancel every pending MAC timer.  Idempotent."""
+        for name in (
+            "_ifs_handle",
+            "_countdown_handle",
+            "_ack_timeout_handle",
+            "_cts_timeout_handle",
+            "_nav_resume_handle",
+        ):
+            handle = getattr(self, name)
+            if handle is not None:
+                handle.cancel()
+                setattr(self, name, None)
+
+    def suspend(self) -> None:
+        """Take the MAC off the air: the node left the network.
+
+        Cancels all pending timers, requeues the in-flight head MSDU at
+        the front of the queue (so :meth:`resume` retries it first, with
+        a fresh attempt history), and parks the state machine.  Safe to
+        call mid-transmission: the radio's detach path stops delivering
+        air events, and the :attr:`_suspended` guard swallows any
+        ``on_tx_complete`` for a frame already on the air.
+        """
+        if self._suspended:
+            return
+        self._suspended = True
+        self._cancel_timers()
+        self._countdown_started_at = None
+        self._backoff_slots = None
+        self._tx_train = []
+        self._rts_data_frame = None
+        self._nav_until = 0
+        self._need_eifs = False
+        if self._head is not None:
+            head = self._head
+            head.attempts = 0
+            self._head = None
+            self._queue.appendleft(head)
+        self._state = MacState.IDLE
+        self._cw = self.config.cw_min
+
+    def resume(self) -> None:
+        """Bring a suspended MAC back on the air (the node re-joined)."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        if self._queue and self._state is MacState.IDLE and self._head is None:
+            self._start_next()
+
+    @property
+    def suspended(self) -> bool:
+        """True while the node is detached from the network."""
+        return self._suspended
 
     # ------------------------------------------------------------------
     # Medium state

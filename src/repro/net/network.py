@@ -149,6 +149,12 @@ class Network:
         # refresh pass per sim-time instant) — see _mark_adaptation_dirty.
         self._dirty_adaptation: set = set()
         self._adaptation_drain_pending = False
+        #: Node ids currently detached from the medium (churn faults).
+        self._detached: set = set()
+        #: Optional fault injector vetoing scenario-driven position
+        #: reports (``allow_report(node, now) -> bool``); see
+        #: :meth:`install_faults`.
+        self.fault_filter = None
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -447,6 +453,32 @@ class Network:
             if node is not None:
                 self._refresh_node_adaptation(node)
 
+    def publish_report(self, node: Node, reported: Point) -> None:
+        """Propagate one position report through the location service.
+
+        Every same-band CO-MAP agent (the ones that can hear the AP's
+        redistribution) observes ``reported`` as ``node``'s position; the
+        node's own agent records the report and affected MACs re-run
+        adaptation.  Fault injectors call this directly to publish
+        frozen, drifted, or periodic keep-alive reports.
+        """
+        self._reported_positions[node.node_id] = reported
+        for observer in self.nodes.values():
+            if observer.agent is None or observer.band != node.band:
+                continue
+            if observer.node_id in self._detached:
+                continue  # a detached node's location service is down too
+            ap_id = (
+                node.associated_ap.node_id if node.associated_ap is not None else None
+            )
+            observer.agent.observe_neighbor(
+                node.node_id, reported, is_ap=node.is_ap, associated_ap=ap_id,
+                now=self.sim.now,
+            )
+        if node.agent is not None:
+            node.agent.mark_reported(reported)
+        self._mark_adaptation_dirty(node)
+
     def update_node_position(self, node: Node, position: Point) -> bool:
         """Move a node; re-report if the move exceeds the threshold.
 
@@ -459,22 +491,89 @@ class Network:
             return False
         if not node.agent.should_report_move(position):
             return False
+        if self.fault_filter is not None and not self.fault_filter.allow_report(
+            node, self.sim.now
+        ):
+            return False
         error_rng = self.rngs.stream("localization")
         reported = self.error_model.apply(position, error_rng)
-        self._reported_positions[node.node_id] = reported
-        for observer in self.nodes.values():
-            if observer.agent is None or observer.band != node.band:
-                continue
-            ap_id = (
-                node.associated_ap.node_id if node.associated_ap is not None else None
-            )
-            observer.agent.observe_neighbor(
-                node.node_id, reported, is_ap=node.is_ap, associated_ap=ap_id,
-                now=self.sim.now,
-            )
-        node.agent.mark_reported(reported)
-        self._mark_adaptation_dirty(node)
+        self.publish_report(node, reported)
         return True
+
+    # ------------------------------------------------------------------
+    # Churn (nodes leaving and re-joining mid-run)
+    # ------------------------------------------------------------------
+    def detach_node(self, node: Node) -> None:
+        """Take a node off the air mid-run (it left the network).
+
+        Suspends the MAC (cancelling all pending timers, requeueing the
+        in-flight MSDU), detaches the radio from its channel (scrubbing
+        it from in-flight transmissions' observer sets), and makes every
+        remaining same-band CO-MAP agent forget the node — its cached
+        positions, PRR verdicts, and co-occurrence entries describe a
+        peer that is no longer there.
+        """
+        if node.node_id in self._detached:
+            raise RuntimeError(f"node {node.name!r} is already detached")
+        self._detached.add(node.node_id)
+        node.mac.suspend()
+        node.radio.channel.detach(node.radio)
+        dirty = False
+        for observer in self.nodes.values():
+            if observer is node or observer.agent is None:
+                continue
+            if observer.band != node.band:
+                continue
+            if node.node_id in observer.agent.neighbor_table:
+                observer.agent.forget_neighbor(node.node_id)
+                self._dirty_adaptation.add(observer.node_id)
+                dirty = True
+        if dirty:
+            if not self.sim.running:
+                self._drain_adaptation_refresh()
+            elif not self._adaptation_drain_pending:
+                self._adaptation_drain_pending = True
+                self.sim.schedule(0, self._drain_adaptation_refresh)
+
+    def reattach_node(self, node: Node) -> None:
+        """Bring a detached node back on the air (it re-joined).
+
+        Re-attaches the radio (the mid-run attach contract applies: it
+        does not observe transmissions already in flight), resumes the
+        MAC, and — for CO-MAP — publishes a fresh position report so the
+        network re-learns the node and the node's peers re-validate
+        concurrency against it.
+        """
+        if node.node_id not in self._detached:
+            raise RuntimeError(f"node {node.name!r} is not detached")
+        node.radio.channel.attach(node.radio)
+        self._detached.discard(node.node_id)
+        node.mac.resume()
+        if self.mac_kind == "comap" and node.agent is not None:
+            error_rng = self.rngs.stream("localization")
+            reported = self.error_model.apply(node.position, error_rng)
+            self.publish_report(node, reported)
+
+    @property
+    def detached_nodes(self) -> set:
+        """Ids of nodes currently off the air."""
+        return set(self._detached)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan):
+        """Install a :class:`repro.faults.FaultPlan` on this network.
+
+        Must be called after :meth:`finalize`.  Returns the installed
+        :class:`repro.faults.FaultInjector` (its counters register under
+        the ``faults/`` prefix of this network's registry).
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        injector.install()
+        return injector
 
     def location_overhead_bytes(self) -> int:
         """Estimated one-shot location-exchange cost (Section V).

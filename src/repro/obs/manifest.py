@@ -77,6 +77,13 @@ class RunManifest:
     #: Not in ``_REQUIRED_FIELDS``: manifests from unprofiled runs (and
     #: archived pre-profile manifests) validate unchanged.
     profile: Optional[Dict[str, Any]] = None
+    #: Structured records of tasks that failed after exhausting their
+    #: retries (``on_error="record"`` sweeps) — one dict per failure
+    #: with ``index``, ``key``, ``kind``, ``error``, ``attempts``.
+    #: Optional for the same archival-compatibility reason as
+    #: ``profile``; fault-tolerant sweeps always include it (possibly
+    #: empty) so "zero failures" is an explicit statement.
+    failures: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {"schema": MANIFEST_SCHEMA, "version": MANIFEST_SCHEMA_VERSION}
@@ -231,6 +238,7 @@ def build_manifest(
     cache_hits: int = 0,
     cache_misses: int = 0,
     profile: Optional[Dict[str, Any]] = None,
+    failures: Optional[List[Dict[str, Any]]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` with provenance filled in."""
     return RunManifest(
@@ -247,4 +255,5 @@ def build_manifest(
         cache_hits=int(cache_hits),
         cache_misses=int(cache_misses),
         profile=profile,
+        failures=failures,
     )

@@ -325,6 +325,31 @@ class Channel:
             raise ValueError(f"duplicate radio id {radio.radio_id}")
         self._radios.append(radio)
         self._radios_by_id[radio.radio_id] = radio
+        radio.on_attached()
+
+    def detach(self, radio: "Radio") -> None:
+        """Remove a radio from the medium (the node left the network).
+
+        Mid-run detach contract, mirroring :meth:`attach`: the radio is
+        scrubbed from every in-flight transmission's observer set, so it
+        will never receive an ``on_air_end`` for a frame it stopped
+        listening to — nor any notification for frames that start after
+        the detach.  Position-dependent caches involving the radio are
+        dropped (it may re-attach somewhere else).  The radio's own
+        :meth:`repro.phy.radio.Radio.on_detached` resets its reception
+        state (in-air frames, CCA, lock).
+        """
+        if self._radios_by_id.pop(radio.radio_id, None) is None:
+            raise ValueError(f"radio id {radio.radio_id} is not attached")
+        self._radios.remove(radio)
+        for tx in self._active:
+            tx.rx_power_mw.pop(radio.radio_id, None)
+        self.on_radio_moved(radio.radio_id)
+        for pair in [p for p in self._link_rng_memo if radio.radio_id in p]:
+            # Memory hygiene only: substream() memoizes per key, so a
+            # re-attached radio gets the identical generator back.
+            del self._link_rng_memo[pair]
+        radio.on_detached()
 
     @property
     def radios(self) -> List["Radio"]:
@@ -434,7 +459,9 @@ class Channel:
                 self.sim.schedule(latency, self._deliver_air_end, tx)
         else:
             for radio_id in tx.rx_power_mw:
-                radio = radios_by_id[radio_id]
+                radio = radios_by_id.get(radio_id)
+                if radio is None:
+                    continue  # detached after this frame started
                 if latency:
                     self.sim.schedule(latency, radio.on_air_end, tx)
                 else:
@@ -456,7 +483,9 @@ class Channel:
         """Coalesced end-of-air delivery (hot path, latency > 0 only)."""
         radios_by_id = self._radios_by_id
         for radio_id in tx.rx_power_mw:
-            radios_by_id[radio_id].on_air_end(tx)
+            radio = radios_by_id.get(radio_id)
+            if radio is not None:  # detached radios never hear the end
+                radio.on_air_end(tx)
 
     # ------------------------------------------------------------------
     # Propagation

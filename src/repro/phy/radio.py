@@ -103,6 +103,7 @@ class Radio:
         self.frames_transmitted = 0
         #: Cumulative airtime spent transmitting (ns) — duty-cycle metric.
         self.airtime_tx_ns = 0
+        self._attached = False  # set by channel.attach via on_attached()
         channel.attach(self)
 
     # ------------------------------------------------------------------
@@ -111,6 +112,34 @@ class Radio:
     def bind_mac(self, mac) -> None:
         """Attach the MAC entity that receives PHY indications."""
         self.mac = mac
+
+    @property
+    def attached(self) -> bool:
+        """True while the radio is registered with its channel."""
+        return self._attached
+
+    def on_attached(self) -> None:
+        """Channel callback: the radio joined (or re-joined) the medium."""
+        self._attached = True
+
+    def on_detached(self) -> None:
+        """Channel callback: the radio left the medium mid-run.
+
+        Resets all reception state: frames still in the air no longer
+        reach this radio (a half-received lock counts as missed), CCA
+        reads idle, and an own transmission still in flight is disowned —
+        its ``on_own_tx_end`` will be ignored.  The MAC is expected to be
+        suspended separately (see ``Network.detach_node``), so no busy or
+        idle edge is delivered here.
+        """
+        self._attached = False
+        if self._lock is not None:
+            self.frames_missed += 1
+            self._lock = None
+        self._in_air.clear()
+        self._energy_dirty = True
+        self._current_tx = None
+        self._busy = False
 
     def move_to(self, position: Point) -> None:
         """Update the radio's physical position (mobility support).
@@ -183,6 +212,10 @@ class Radio:
     # ------------------------------------------------------------------
     def start_transmission(self, frame: "Frame") -> Transmission:
         """Begin sending ``frame``; the radio is deaf until it completes."""
+        if not self._attached:
+            raise RuntimeError(
+                f"radio {self.radio_id} is detached and cannot transmit"
+            )
         if self._current_tx is not None:
             raise RuntimeError(
                 f"radio {self.radio_id} is already transmitting "
@@ -200,6 +233,8 @@ class Radio:
 
     def on_own_tx_end(self, tx: Transmission) -> None:
         """Channel callback: this radio's own frame finished."""
+        if not self._attached:
+            return  # detached mid-own-transmission; state already reset
         assert tx is self._current_tx, "transmission bookkeeping out of sync"
         self._current_tx = None
         self.airtime_tx_ns += tx.duration_ns
@@ -213,6 +248,8 @@ class Radio:
     # ------------------------------------------------------------------
     def on_air_start(self, tx: Transmission, power_mw: float) -> None:
         """A foreign transmission began; update CCA and reception state."""
+        if not self._attached:
+            return  # delivery raced a detach; the radio never saw this frame
         self._in_air[tx] = power_mw
         self._energy_dirty = True
         if self._current_tx is None:
@@ -248,6 +285,8 @@ class Radio:
 
     def on_air_end(self, tx: Transmission) -> None:
         """A foreign transmission ended; maybe complete a reception."""
+        if not self._attached:
+            return  # detached while the frame was in flight
         self._in_air.pop(tx, None)
         self._energy_dirty = True
         lock = self._lock

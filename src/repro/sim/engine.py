@@ -33,6 +33,26 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the engine (negative delays, time travel)."""
 
 
+class WatchdogError(SimulationError):
+    """The liveness watchdog tripped: simulated time stopped advancing.
+
+    Carries structured context so a sweep harness can record what was
+    stuck without parsing the message: the instant the clock froze at
+    (``time``), how many events fired at that instant (``events``), and
+    the qualified name of the last callback executed (``callback``).
+    """
+
+    def __init__(self, time: int, events: int, callback: str) -> None:
+        super().__init__(
+            f"watchdog: {events} events fired at t={time} without the clock "
+            f"advancing (last callback: {callback}); the event queue is not "
+            f"draining"
+        )
+        self.time = time
+        self.events = events
+        self.callback = callback
+
+
 class EventHandle:
     """A cancellable reference to a scheduled callback.
 
@@ -106,6 +126,13 @@ class Simulator:
     #: default; tests lower it per-instance to exercise compaction cheaply.
     compact_floor: int = 1024
 
+    #: Liveness watchdog: maximum events fired at one simulated instant
+    #: before :meth:`run` raises :class:`WatchdogError`.  ``None`` (the
+    #: default) disables the check — legitimate workloads (coalesced air
+    #: notifications, zero-delay drains) fire bounded same-instant bursts,
+    #: so the limit is a scenario-scale knob, not a universal constant.
+    watchdog_limit: Optional[int] = None
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
@@ -115,6 +142,7 @@ class Simulator:
         self._live = 0  # exact count of scheduled, not-cancelled, not-fired events
         self._heap_peak = 0
         self._compactions = 0
+        self._watchdog_trips = 0
 
     @property
     def now(self) -> int:
@@ -167,6 +195,7 @@ class Simulator:
             "pending_events": self.pending_events,
             "heap_compactions": self._compactions,
             "heap_peak": self._heap_peak,
+            "watchdog_trips": self._watchdog_trips,
         }
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -227,6 +256,13 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         fired = 0
+        # Liveness watchdog state: a same-instant event streak within this
+        # run() call.  The streak resets whenever the clock advances, so
+        # only a genuinely stuck instant (e.g. a handler rescheduling
+        # itself at zero delay forever) can trip it.
+        watchdog_limit = self.watchdog_limit
+        streak_time = -1
+        streak = 0
         try:
             while self._queue:
                 handle = self._queue[0]
@@ -239,6 +275,21 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = handle.time
+                if watchdog_limit is not None:
+                    if handle.time == streak_time:
+                        streak += 1
+                    else:
+                        streak_time = handle.time
+                        streak = 1
+                    if streak > watchdog_limit:
+                        # Push the unfired event back so pending_events and
+                        # the queue stay consistent for post-mortem reads.
+                        heapq.heappush(self._queue, handle)
+                        self._watchdog_trips += 1
+                        name = getattr(
+                            handle.callback, "__qualname__", repr(handle.callback)
+                        )
+                        raise WatchdogError(handle.time, streak, name)
                 callback, args = handle.callback, handle.args
                 handle.fired = True  # fired events cannot be cancelled later
                 handle.callback = _noop  # release closures, as cancel() does

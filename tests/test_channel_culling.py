@@ -253,6 +253,116 @@ class TestMidRunAttach:
             )
 
 
+class TestMidRunDetach:
+    """The flip side of the mid-run attach contract: leaving cleanly.
+
+    A radio removed mid-transmission must not receive ``on_air_end`` (or
+    any other PHY edge) for frames it never saw complete, and a node
+    detached at the network level must have every pending MAC timer
+    cancelled — no stale callback may fire against a suspended MAC.
+    """
+
+    def test_detach_mid_flight_no_spurious_air_end(self):
+        world = build_phy_world([NEAR, MID])
+        world.radios[0].start_transmission(world.data_frame(0, 1, payload=1500))
+        world.sim.run(until=200_000)  # mid-frame (airtime ~2 ms at 6 Mbps)
+        victim = world.radios[1]
+        assert victim._in_air  # the frame is on its way
+        world.channel.detach(victim)
+        edges_at_detach = list(world.macs[1].busy_edges)
+        world.sim.run()
+        # The already-scheduled per-receiver delivery events fired, but
+        # the detached radio ignored them: no reception, no corruption,
+        # no busy/idle edges after the detach instant.
+        assert world.macs[1].received == []
+        assert world.macs[1].corrupted == []
+        assert world.macs[1].busy_edges == edges_at_detach
+        assert victim._in_air == {}
+        # The locked in-flight frame counts as missed, not received.
+        assert victim.frames_missed == 1
+
+    def test_detach_transmitter_mid_own_frame(self):
+        world = build_phy_world([NEAR, MID])
+        world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run(until=100_000)
+        world.channel.detach(world.radios[0])
+        world.sim.run()  # scheduled end-of-air events must not crash
+        assert world.macs[0].completed == []  # no tx-complete after leaving
+        assert world.radios[0].transmitting is False
+
+    def test_detached_radio_cannot_transmit(self):
+        world = build_phy_world([NEAR, MID])
+        world.channel.detach(world.radios[0])
+        with pytest.raises(RuntimeError, match="detached"):
+            world.radios[0].start_transmission(world.data_frame(0, 1))
+
+    def test_detach_unknown_radio_rejected(self):
+        world = build_phy_world([NEAR, MID])
+        world.channel.detach(world.radios[1])
+        with pytest.raises(ValueError, match="not attached"):
+            world.channel.detach(world.radios[1])
+
+    def test_reattach_participates_again(self):
+        world = build_phy_world([NEAR, MID])
+        victim = world.radios[1]
+        world.channel.detach(victim)
+        tx_gone = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert victim.radio_id not in tx_gone.rx_power_mw
+        world.channel.attach(victim)
+        tx_back = world.radios[0].start_transmission(world.data_frame(0, 1))
+        world.sim.run()
+        assert victim.radio_id in tx_back.rx_power_mw
+
+    def _saturated_pair(self):
+        net = Network(testbed_params(), mac_kind="dcf", seed=4)
+        ap = net.add_ap("AP", 0.0, 0.0)
+        c = net.add_client("C", 8.0, 0.0, ap=ap)
+        net.finalize()
+        net.add_saturated(c, ap)
+        return net, c
+
+    def test_network_detach_cancels_mac_timers(self):
+        net, client = self._saturated_pair()
+        net.run(0.01)
+        mac = client.mac
+        net.detach_node(client)
+        assert mac.suspended
+        # Every pending MAC timer is cancelled and dropped.
+        for attr in (
+            "_ifs_handle",
+            "_countdown_handle",
+            "_ack_timeout_handle",
+            "_cts_timeout_handle",
+            "_nav_resume_handle",
+        ):
+            assert getattr(mac, attr) is None, attr
+        sent_at_detach = client.radio.frames_transmitted
+        net.sim.run(until=net.sim.now + 50_000_000)
+        # No stale timer fired: the suspended node never transmits.
+        assert client.radio.frames_transmitted == sent_at_detach
+
+    def test_network_reattach_resumes_traffic(self):
+        net, client = self._saturated_pair()
+        net.run(0.01)
+        net.detach_node(client)
+        sent_at_detach = client.radio.frames_transmitted
+        net.sim.run(until=net.sim.now + 10_000_000)
+        net.reattach_node(client)
+        assert not client.mac.suspended
+        net.sim.run(until=net.sim.now + 20_000_000)
+        assert client.radio.frames_transmitted > sent_at_detach
+
+    def test_double_detach_rejected(self):
+        net, client = self._saturated_pair()
+        net.detach_node(client)
+        with pytest.raises(RuntimeError, match="already detached"):
+            net.detach_node(client)
+        net.reattach_node(client)
+        with pytest.raises(RuntimeError, match="not detached"):
+            net.reattach_node(client)
+
+
 # ----------------------------------------------------------------------
 # Per-link substream isolation
 # ----------------------------------------------------------------------

@@ -228,6 +228,83 @@ class TestRunControl:
         assert sim.events_fired == 4
 
 
+class TestWatchdog:
+    """The liveness check: simulated time must keep advancing.
+
+    ``watchdog_limit`` (off by default) bounds how many events may fire
+    at one instant; a handler that reschedules itself at zero delay —
+    the classic stuck-simulation bug — then raises a structured
+    :class:`WatchdogError` instead of spinning forever.
+    """
+
+    def _stuck_sim(self, limit):
+        sim = Simulator()
+        sim.watchdog_limit = limit
+
+        def stuck_handler():
+            sim.schedule(0, stuck_handler)
+
+        sim.schedule(5, stuck_handler)
+        return sim
+
+    def test_off_by_default(self):
+        sim = Simulator()
+        assert sim.watchdog_limit is None
+        burst = []
+        for i in range(10_000):
+            sim.schedule(7, burst.append, i)
+        sim.run()  # a big same-instant burst is fine with the dog off
+        assert len(burst) == 10_000
+
+    def test_stuck_handler_trips_structured_error(self):
+        from repro.sim.engine import WatchdogError
+
+        sim = self._stuck_sim(limit=100)
+        with pytest.raises(WatchdogError) as excinfo:
+            sim.run()
+        err = excinfo.value
+        assert err.time == 5
+        assert err.events == 101  # limit exceeded by exactly one
+        assert "stuck_handler" in err.callback
+        assert "not draining" in str(err)
+        # Post-mortem state is consistent: the clock stopped at the
+        # stuck instant and the unfired event is still pending.
+        assert sim.now == 5
+        assert sim.pending_events == 1
+        assert sim.counters()["watchdog_trips"] == 1
+
+    def test_legitimate_bursts_below_limit_pass(self):
+        sim = Simulator()
+        sim.watchdog_limit = 50
+        fired = []
+        for t in (1, 2, 3):
+            for i in range(50):  # exactly at the limit, never above
+                sim.schedule(t, fired.append, (t, i))
+        sim.run()
+        assert len(fired) == 150
+        assert sim.counters()["watchdog_trips"] == 0
+
+    def test_advancing_clock_resets_streak(self):
+        sim = Simulator()
+        sim.watchdog_limit = 3
+
+        def ping(t):
+            if t < 20:
+                sim.schedule(1, ping, t + 1)
+
+        sim.schedule(0, ping, 0)
+        sim.run()  # one event per instant: never trips
+        assert sim.counters()["watchdog_trips"] == 0
+
+    def test_watchdog_error_is_simulation_error(self):
+        from repro.sim.engine import WatchdogError
+
+        sim = self._stuck_sim(limit=10)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert issubclass(WatchdogError, SimulationError)
+
+
 class TestLivePendingCount:
     """pending_events is an exact O(1) count, not a queue scan."""
 

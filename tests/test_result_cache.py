@@ -183,6 +183,62 @@ class TestCorruptionTolerance:
         assert os.listdir(tmp_path) == []
 
 
+class TestAtomicWrites:
+    """``put`` is atomic: dying mid-write can never poison an entry."""
+
+    #: A child process that is SIGKILLed at the worst possible instant —
+    #: after the temp file is written and fsynced, just before the
+    #: rename would publish it.  ``os.replace`` is patched to pull the
+    #: trigger, so the payload definitely hit the disk first.
+    _KILLED_MID_PUT = """
+import os, signal
+import repro.experiments.parallel as parallel
+
+def _die(src, dst):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+os.replace = _die
+cache = parallel.ResultCache({root!r})
+cache.put({digest!r}, [1.0, 2.0, 3.0])
+raise SystemExit("unreachable: the put above must have killed us")
+"""
+
+    def test_kill_mid_put_leaves_no_partial_entry(self, tmp_path):
+        import subprocess
+        import sys
+
+        root = str(tmp_path)
+        task = _task(6.0)
+        digest = task.fingerprint()
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             self._KILLED_MID_PUT.format(root=root, digest=digest)],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == -9, proc.stderr  # SIGKILL, not SystemExit
+        # No .json was published: the final name never appeared, so a
+        # later reader sees a clean miss, not a truncated entry.
+        names = os.listdir(root)
+        assert not any(name.endswith(".json") for name in names)
+        cache = ResultCache(root)
+        hit, _ = cache.get(digest)
+        assert not hit
+        # The only debris is the orphaned temp file...
+        orphans = [name for name in names if name.endswith(".tmp")]
+        assert len(orphans) == 1
+        # ...which clear() reaps without counting it as an entry.
+        assert cache.clear() == 0
+        assert os.listdir(root) == []
+        # And the cache still works afterwards.
+        cache.put(digest, [4.0])
+        hit, value = cache.get(digest)
+        assert hit and value == [4.0]
+
+
 class TestEndToEndSweepCaching:
     def test_cached_sweep_is_bit_identical(self, tmp_path):
         cache = ResultCache(str(tmp_path))
