@@ -42,6 +42,10 @@ class ScenarioParams:
     #: shadowing model); ``"off"`` or a negative value disables culling.
     #: See :mod:`repro.phy.channel`.
     cull_margin_db: Union[float, str, None] = None
+    #: Struct-of-arrays channel backend.  ``None`` defers to the
+    #: ``REPRO_VECTOR`` environment knob (default off); ``True``/``False``
+    #: pin it per scenario.  See :mod:`repro.phy.vector`.
+    vector_phy: Optional[bool] = None
     # PHY.
     rates: RateTable = field(default_factory=lambda: OFDM_RATES)
     timing: PhyTiming = OFDM_TIMING

@@ -179,6 +179,7 @@ class Network:
                 band=band,
                 registry=self.registry,
                 cull_margin_db=getattr(self.params, "cull_margin_db", None),
+                vector=getattr(self.params, "vector_phy", None),
             )
             self._channels[band] = channel
         return channel

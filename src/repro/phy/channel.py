@@ -83,7 +83,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Union
 from repro.phy.propagation import LogNormalShadowing
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
-from repro.util.hotpath import hotpath_enabled
+from repro.util.hotpath import hotpath_enabled, vector_enabled
 from repro.util.rng import RngStreams
 from repro.util.units import db_to_ratio, dbm_to_mw
 
@@ -224,6 +224,7 @@ class Channel:
         air_latency_ns: int = 1_000,
         registry=None,
         cull_margin_db: Union[float, str, None] = None,
+        vector: Optional[bool] = None,
     ) -> None:
         if shadowing_mode not in SHADOWING_MODES:
             raise ValueError(
@@ -277,6 +278,16 @@ class Channel:
         #: Counters for diagnostics and tests.
         self.frames_sent = 0
         self.links_culled = 0
+        #: Struct-of-arrays backend (``REPRO_VECTOR``; see repro.phy.vector).
+        #: An explicit ``vector`` argument wins over the environment knob.
+        #: Constructed lazily-imported so the scalar path never touches
+        #: the module (numpy is optional for it).
+        self._vector_backend = None
+        use_vector = vector_enabled() if vector is None else vector
+        if use_vector:
+            from repro.phy.vector import VectorBackend
+
+            self._vector_backend = VectorBackend(self)
         if registry is not None:
             self.register_counters(registry)
 
@@ -297,6 +308,7 @@ class Channel:
         below-floor culling; ``cull_margin_db`` is the resolved margin
         (``-1.0`` when culling is off).
         """
+        backend = self._vector_backend
         return {
             "frames_sent": self.frames_sent,
             "active_transmissions": len(self._active),
@@ -305,6 +317,11 @@ class Channel:
             "cull_margin_db": (
                 self.cull_margin_db if self.cull_margin_db is not None else -1.0
             ),
+            # Vector-backend activity (0 when the scalar path is active):
+            # batches = frames evaluated through the array path, links =
+            # surviving receiver evaluations those frames produced.
+            "vector_batches": backend.batches if backend is not None else 0,
+            "vector_links": backend.links if backend is not None else 0,
         }
 
     # ------------------------------------------------------------------
@@ -325,6 +342,8 @@ class Channel:
             raise ValueError(f"duplicate radio id {radio.radio_id}")
         self._radios.append(radio)
         self._radios_by_id[radio.radio_id] = radio
+        if self._vector_backend is not None:
+            self._vector_backend.rebuild()
         radio.on_attached()
 
     def detach(self, radio: "Radio") -> None:
@@ -349,6 +368,8 @@ class Channel:
             # Memory hygiene only: substream() memoizes per key, so a
             # re-attached radio gets the identical generator back.
             del self._link_rng_memo[pair]
+        if self._vector_backend is not None:
+            self._vector_backend.rebuild()
         radio.on_detached()
 
     @property
@@ -378,6 +399,8 @@ class Channel:
         self._mean_rx_cache.invalidate(radio_id)
         self._link_shadowing_db.invalidate(radio_id)
         self._link_rx_mw.invalidate(radio_id)
+        if self._vector_backend is not None:
+            self._vector_backend.on_radio_moved(radio_id)
 
     @property
     def active_transmissions(self) -> List[Transmission]:
@@ -394,7 +417,14 @@ class Channel:
         Radios whose mean received power sits ``cull_margin_db`` below
         both their noise floor and their carrier-sense threshold are
         skipped entirely (no draw, no ``rx_power_mw`` entry, no events).
+
+        With the vector backend active the whole receiver sweep —
+        culling, power draws, masks, delivery — runs as one batched
+        pass in :meth:`repro.phy.vector.VectorBackend.transmit`;
+        per-node outcomes are bit-identical either way.
         """
+        if self._vector_backend is not None:
+            return self._vector_backend.transmit(sender, frame)
         duration = self.timing.frame_airtime_ns(frame)
         tx = Transmission(frame, sender, self.sim.now, self.sim.now + duration)
         self._active.append(tx)
@@ -452,7 +482,16 @@ class Channel:
             self.trace.record("channel", "tx-end", frame=tx.frame.describe())
         latency = self.air_latency_ns
         radios_by_id = self._radios_by_id
-        if latency and self._hotpath:
+        if self._vector_backend is not None:
+            # Batched end-of-air: one coalesced event (or inline call at
+            # zero latency), mirroring the hot path's event economy.
+            if not latency:
+                self._vector_backend.deliver_air_end(tx)
+            elif tx.rx_power_mw:
+                self.sim.schedule(
+                    latency, self._vector_backend.deliver_air_end, tx
+                )
+        elif latency and self._hotpath:
             if tx.rx_power_mw:
                 # Same coalescing argument as in transmit(): the end
                 # notifications are back-to-back either way.

@@ -1,0 +1,722 @@
+"""Struct-of-arrays channel backend: batched per-frame receiver evaluation.
+
+``REPRO_VECTOR=1`` (see :mod:`repro.util.hotpath`) replaces the
+channel's per-receiver scalar loop with this backend: per transmitted
+frame, every candidate receiver is evaluated in one pass over dense
+per-sender arrays —
+
+* **mean-power rows** — per sender, ``float64`` rows of mean received
+  power in dBm and mW over all attached-radio slots, maintained lazily
+  and invalidated through the same :meth:`Channel.on_radio_moved` index
+  the scalar pair cache uses;
+* **array culling** — the below-floor cull test (``mean + margin``
+  under both the noise floor and the carrier-sense threshold) computed
+  as one vector comparison over the row instead of two python compares
+  per receiver;
+* **buffered shadowing draws** — per ``("shadowing", band, tx, rx)``
+  substream, draws are pulled in blocks via
+  :meth:`LogNormalShadowing.shadowing_block` and aligned per sender
+  into a column-per-link **draw matrix** (see :class:`_SenderPlan`)
+  whose received powers are composed in bulk — one broadcast float64
+  multiply per matrix build, one list index per frame; numpy's array
+  fill consumes the bit stream exactly as sequential scalar draws do,
+  so per-link draws stay **bit-identical** to scalar
+  ``RngStreams.substream`` output — pinned by
+  ``tests/test_vector_equivalence.py``;
+* **hoisted per-rate constants** — the sensitivity and SIR-threshold
+  linear constants are resolved once per frame at transmit time and
+  threaded into delivery, where ``power >= sensitivity`` and the
+  capture/SIR tests run as the exact same python-float compares the
+  scalar radio performs (the array-kernel forms live on as
+  :func:`decode_masks` / :func:`sir_ok_mask` / :func:`capture_mask`,
+  property-tested against the scalar expressions);
+* **batch delivery** — start-of-air and end-of-air processing for all
+  receivers of a frame runs as one inlined loop that mirrors
+  :meth:`Radio.on_air_start` / :meth:`Radio.on_air_end` **field for
+  field** (see the sync note in :mod:`repro.phy.radio`), hoists the
+  per-frame constants, keeps the energy memo clean-before-append so
+  the incremental update equals the ordered dict sum bit for bit, and
+  skips the per-receiver ``on_energy_changed`` dispatch entirely when
+  the bound MAC's handler is the no-op PHY hook (``Radio._energy_cb``).
+
+Equivalence contract
+--------------------
+
+Per-node counters, ``rx_power_mw`` maps, and per-flow goodput are
+**bit-identical** to the scalar path (with or without
+``REPRO_HOTPATH``): every value the backend produces comes from the
+same scalar expression the per-receiver loop evaluates — rows are
+filled with ``math.log10``-based path loss and python ``10 **``
+conversions (numpy's SIMD transcendentals differ in the last ULP and
+are therefore *never* used on this path; see
+:meth:`LogNormalShadowing.mean_rx_dbm_batch` for the batch variant
+reserved for analytics), draws are buffered but consumed in the same
+per-link order, and the float64 adds/multiplies/compares that *are*
+batched are IEEE-exact matches of their python-float counterparts.
+Only event bookkeeping (``engine/events_fired``) may differ.  The
+contract is enforced by the differential harness and golden fixtures
+in ``tests/test_vector_equivalence.py`` / ``tests/golden/``.
+
+numpy is an optional extra for this backend (``pip install
+repro[vector]``); constructing it without numpy raises
+:class:`RuntimeError`.  When ``REPRO_VECTOR`` is unset the channel
+never imports this module and runs the scalar path unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+try:  # guarded: numpy is the `vector` optional extra
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via _require_numpy tests
+    np = None  # type: ignore[assignment]
+
+from repro.util.units import dbm_to_mw
+
+if TYPE_CHECKING:  # avoid import cycles; hints only
+    from repro.mac.frames import Frame
+    from repro.phy.channel import Channel, Transmission
+    from repro.phy.radio import Radio
+
+#: Shadowing-draw block size when a plan's draw matrix refills (every
+#: link pulls this many at once).  Partitioning draws into blocks of any
+#: size is invisible to the draw values: an array fill consumes the
+#: underlying bit stream exactly as sequential scalar draws do, so ``n``
+#: draws are bitwise the same whether pulled 1, 8, or 64 at a time (the
+#: generator state is shared with the scalar path, so buffered draws are
+#: *committed* — see the VectorBackend docstring).
+DRAW_CHUNK = 64
+
+#: Minimum draw-matrix width at plan build (see _SenderPlan): wide
+#: enough to amortize the build, narrow enough that a short-lived plan
+#: commits few draws per link.
+INITIAL_DRAW_CHUNK = 8
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "REPRO_VECTOR=1 requires numpy, which is not installed; "
+            "install the vector extra (pip install repro[vector]) or "
+            "unset REPRO_VECTOR to run the scalar channel path"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pure array kernels (property-tested against the scalar radio
+# expressions in tests/test_vector_kernel.py)
+# ----------------------------------------------------------------------
+def decode_masks(powers_mw, sensitivity_mw: float, noise_floor_mw):
+    """``(decodable, detectable)`` boolean masks over a power batch.
+
+    ``decodable[i]`` is the scalar radio's lock precondition
+    (``power >= sensitivity``); ``detectable[i]`` its missed-frame
+    precondition (``power >= noise_floor``).  Comparisons are float64
+    and bit-identical to the python-float compares they replace.
+    """
+    p = np.asarray(powers_mw, dtype=np.float64)
+    return p >= sensitivity_mw, p >= np.asarray(noise_floor_mw, dtype=np.float64)
+
+
+def sir_ok_mask(signal_mw, interference_mw, noise_mw, threshold_ratio: float):
+    """Array form of the radio's SIR test: ``s / (i + n) >= thr``."""
+    s = np.asarray(signal_mw, dtype=np.float64)
+    i = np.asarray(interference_mw, dtype=np.float64)
+    n = np.asarray(noise_mw, dtype=np.float64)
+    return s / (i + n) >= threshold_ratio
+
+
+def capture_mask(powers_mw, energy_mw, noise_mw, sensitivity_mw: float,
+                 threshold_ratio: float):
+    """Array form of ``Radio._captures_over_lock``.
+
+    A frame captures iff it clears sensitivity **and** decodes with all
+    other in-air energy (``energy - power``) plus noise as interference.
+    """
+    p = np.asarray(powers_mw, dtype=np.float64)
+    e = np.asarray(energy_mw, dtype=np.float64)
+    n = np.asarray(noise_mw, dtype=np.float64)
+    return (p >= sensitivity_mw) & (p / (e - p + n) >= threshold_ratio)
+
+
+class _MeanRow:
+    """One sender's dense mean-power row over all attached-radio slots.
+
+    ``dbm``/``mw`` are float64 arrays for the vectorized cull test;
+    ``mw_list`` shadows ``mw`` as python floats so the per-link power
+    composition stays in pure python arithmetic (no numpy scalar types
+    leak into ``rx_power_mw``).  Entries are filled lazily through the
+    exact scalar expressions (``LogNormalShadowing.mean_rx_dbm`` +
+    ``dbm_to_mw``), so a row value always equals the scalar path's.
+
+    ``plan`` caches the survivor set derived from this row (see
+    :class:`_SenderPlan`); it is nulled whenever any slot of the row is
+    invalidated, so plan and row can never disagree.
+    """
+
+    __slots__ = ("dbm", "mw", "valid", "mw_list", "plan")
+
+    def __init__(self, n: int) -> None:
+        self.dbm = np.empty(n, dtype=np.float64)
+        self.mw = np.empty(n, dtype=np.float64)
+        self.valid = np.zeros(n, dtype=bool)
+        self.mw_list: List[float] = [0.0] * n
+        self.plan: Optional[_SenderPlan] = None
+
+
+class _SenderPlan:
+    """One sender's precomputed survivor set and per-link constants.
+
+    The cull mask over a mean row is a pure function of the row, the
+    channel's margin, and the per-slot noise/carrier-sense arrays — all
+    of which change only on attach/detach/mobility, never per frame.  So
+    the masked-array work (``row.dbm + margin`` compares, flatnonzero,
+    noise-slice fancy indexing, radio-object gathers) runs once per row
+    (in)validation here, and the per-frame transmit loop touches only
+    plain python lists and whole-array numpy ops.
+
+    In ``per_frame`` shadowing mode (with sigma > 0) the plan also owns
+    a **draw matrix**: every survivor link's pending shadowing draws,
+    column-aligned so that draw index ``j`` of every link sits in row
+    ``j``.  The matrix is stored *post-composition*: one broadcast
+    float64 multiply of the mean-power array against the python-pow
+    ``db_to_ratio`` matrix (IEEE-exact per element, so bit-identical to
+    the scalar per-link composition), converted once to ``rows`` — a
+    python list of per-draw power lists — so the per-frame transmit
+    path is a single list index with no numpy work at all.  Alignment
+    is achieved at build time by topping each link's buffer up to a
+    common width with *committed* draws from its own substream (block
+    partitioning is draw-invisible; see :data:`DRAW_CHUNK`), and
+    :meth:`VectorBackend._retire_plan` writes the consumed count back to
+    the per-link buffers whenever a plan is invalidated, so every link's
+    substream consumption order is exactly the scalar path's.
+    """
+
+    __slots__ = (
+        "rx_radios", "rx_ids", "mw", "mw_arr", "noise_mw", "noise_list",
+        "culled", "keys", "rows", "cursor", "width",
+    )
+
+    def __init__(self, rx_radios, rx_ids, mw, mw_arr, noise_mw, culled):
+        self.rx_radios: List["Radio"] = rx_radios
+        self.rx_ids: List[int] = rx_ids
+        self.mw: List[float] = mw
+        self.mw_arr = mw_arr
+        self.noise_mw = noise_mw
+        self.noise_list: List[float] = noise_mw.tolist()
+        self.culled: int = culled
+        #: ``(tx_id, rx_id)`` per survivor; None unless the draw matrix is on.
+        self.keys: Optional[List[Tuple[int, int]]] = None
+        #: Per-draw received-power lists (``width`` rows of ``n_links``
+        #: python floats); None when the draw matrix is unused.
+        self.rows: Optional[List[List[float]]] = None
+        self.cursor: int = 0
+        self.width: int = 0
+
+
+class VectorBackend:
+    """Array-of-links evaluation engine bolted onto one :class:`Channel`.
+
+    The channel remains the owner of topology, traces, counters, and the
+    transmission list; radios remain the single source of truth for all
+    reception state.  The backend holds only derived, rebuildable data:
+    slot arrays snapshotting per-radio thresholds (radio configs are
+    fixed after attach, as :class:`Radio` itself assumes when caching
+    its mW thresholds), per-sender mean rows, and per-link draw buffers.
+
+    Draw buffers are **never** discarded: a refill advances the shared
+    substream generator past the buffered values, so dropping a buffer
+    would skip draws and diverge from the scalar sequence.  Buffers are
+    keyed by ``(tx_id, rx_id)`` and survive mobility, detach, and
+    re-attach — exactly like the generators themselves, which
+    ``RngStreams.substream`` memoizes for the run's lifetime.
+    """
+
+    def __init__(self, channel: "Channel") -> None:
+        _require_numpy()
+        # Bind the collaborator classes/helpers once: the channel module
+        # is fully imported by construction time (a Channel instance
+        # exists), so this avoids both an import cycle at module load
+        # and the per-call import-machinery lookups a function-level
+        # import would cost on the transmit path.
+        from repro.phy.channel import Transmission
+        from repro.phy.radio import _ReceptionLock
+        from repro.phy.rates import rate_constants
+
+        self._transmission_cls = Transmission
+        self._lock_cls = _ReceptionLock
+        self._rate_constants = rate_constants
+        # Last (rate, (sens_mw, thr_ratio)) pair: consecutive frames
+        # almost always share a rate object (tables intern them), and an
+        # identity check dodges the dataclass-hash cost of the per-rate
+        # lru caches on the hot path.
+        self._last_rate: Optional[tuple] = None
+        self.channel = channel
+        #: Frames evaluated through the vector path (``channel/vector_batches``).
+        self.batches = 0
+        #: Surviving (non-culled) receiver evaluations (``channel/vector_links``).
+        self.links = 0
+        self._slot_of: Dict[int, int] = {}
+        self._noise_dbm = np.empty(0, dtype=np.float64)
+        self._cs_dbm = np.empty(0, dtype=np.float64)
+        self._noise_mw = np.empty(0, dtype=np.float64)
+        self._rows: Dict[int, _MeanRow] = {}
+        self._draws: Dict[Tuple[int, int], list] = {}
+        #: In-flight transmissions' receiver lists (set at transmit,
+        #: popped at end-of-air): end delivery walks the same radio
+        #: objects start delivery used instead of re-resolving each
+        #: receiver id through the channel's id map.  Order matches
+        #: ``tx.rx_power_mw`` insertion order, i.e. attach order.
+        self._rx_of: Dict["Transmission", List["Radio"]] = {}
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Topology hooks (called by Channel.attach / detach / on_radio_moved)
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-snapshot slot arrays from the channel's attach-order list.
+
+        Attach/detach are rare relative to frames, so a full rebuild
+        (and dropping every mean row) is the simplest way to keep slot
+        indices aligned with the scalar path's iteration order.  Draw
+        buffers are deliberately kept — see the class docstring.
+        """
+        radios = self.channel._radios
+        self._slot_of = {r.radio_id: i for i, r in enumerate(radios)}
+        self._noise_dbm = np.array(
+            [r.config.noise_floor_dbm for r in radios], dtype=np.float64
+        )
+        self._cs_dbm = np.array(
+            [r.config.cs_threshold_dbm for r in radios], dtype=np.float64
+        )
+        self._noise_mw = np.array([r._noise_mw for r in radios], dtype=np.float64)
+        for row in self._rows.values():
+            if row.plan is not None:
+                self._retire_plan(row.plan)
+        self._rows.clear()
+
+    def on_radio_moved(self, radio_id: int) -> None:
+        """Position-dependent invalidation, mirroring the pair caches.
+
+        Drops the moved radio's own row and marks its column invalid in
+        every other sender's row — O(number of senders), matching the
+        O(degree) discipline of ``_PairCache.invalidate``.
+        """
+        own = self._rows.pop(radio_id, None)
+        if own is not None and own.plan is not None:
+            self._retire_plan(own.plan)
+        slot = self._slot_of.get(radio_id)
+        if slot is None:
+            return
+        for row in self._rows.values():
+            row.valid[slot] = False
+            if row.plan is not None:
+                self._retire_plan(row.plan)
+                row.plan = None
+
+    # ------------------------------------------------------------------
+    # Mean-power rows
+    # ------------------------------------------------------------------
+    def _row(self, sender: "Radio") -> _MeanRow:
+        """The sender's mean row, filling invalid slots via scalar math."""
+        n = len(self._slot_of)
+        row = self._rows.get(sender.radio_id)
+        if row is None:
+            row = _MeanRow(n)
+            self._rows[sender.radio_id] = row
+        if not row.valid.all():
+            if row.plan is not None:  # defensive: invalidation nulls plans
+                self._retire_plan(row.plan)
+                row.plan = None
+            radios = self.channel._radios
+            propagation = self.channel.propagation
+            tx_power = sender.config.tx_power_dbm
+            position = sender.position
+            mw_list = row.mw_list
+            for i in np.flatnonzero(~row.valid).tolist():
+                other = radios[i]
+                if other is sender:
+                    # Own slot: +inf keeps the cull comparison inert; the
+                    # sender is excluded from the survivor set explicitly.
+                    row.dbm[i] = math.inf
+                    row.mw[i] = math.inf
+                    mw_list[i] = math.inf
+                else:
+                    mean_dbm = propagation.mean_rx_dbm(
+                        tx_power, position.distance_to(other.position)
+                    )
+                    mean_mw = dbm_to_mw(mean_dbm)
+                    row.dbm[i] = mean_dbm
+                    row.mw[i] = mean_mw
+                    mw_list[i] = mean_mw
+                row.valid[i] = True
+        return row
+
+    def _plan(self, sender: "Radio") -> _SenderPlan:
+        """The sender's survivor plan, rebuilt when its row changed.
+
+        The cull test is the scalar path's, computed as one vector
+        comparison over the row: skip a receiver iff ``mean + margin``
+        sits below both its noise floor and its carrier-sense threshold
+        (float64 add/compare are IEEE-exact matches of the python-float
+        expressions).  The sender never receives its own frame.
+        """
+        row = self._rows.get(sender.radio_id)
+        if row is not None:
+            # Fast path: a non-None plan implies the row is fully valid
+            # (every invalidation nulls the plan), so skip the per-slot
+            # validity reduction entirely.
+            plan = row.plan
+            if plan is not None:
+                return plan
+        row = self._row(sender)
+        ch = self.channel
+        n = len(self._slot_of)
+        margin = ch.cull_margin_db
+        if margin is None:
+            keep = np.ones(n, dtype=bool)
+        else:
+            shifted = row.dbm + margin
+            keep = (shifted >= self._noise_dbm) | (shifted >= self._cs_dbm)
+        keep[self._slot_of[sender.radio_id]] = False
+        survivors = np.flatnonzero(keep)
+        radios = ch._radios
+        mw_list = row.mw_list
+        idx = survivors.tolist()
+        rx_radios = [radios[i] for i in idx]
+        plan = _SenderPlan(
+            rx_radios=rx_radios,
+            rx_ids=[r.radio_id for r in rx_radios],
+            mw=[mw_list[i] for i in idx],
+            mw_arr=row.mw[survivors],
+            noise_mw=self._noise_mw[survivors],
+            culled=(n - 1) - len(idx),
+        )
+        if (
+            rx_radios
+            and ch.shadowing_mode == "per_frame"
+            and ch.propagation.sigma_db > 0.0
+        ):
+            self._build_draw_matrix(plan, sender.radio_id)
+        row.plan = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Shadowing draw buffers and plan draw matrices
+    # ------------------------------------------------------------------
+    def _build_draw_matrix(self, plan: _SenderPlan, tx_id: int) -> None:
+        """Align every survivor link's pending draws into one matrix.
+
+        Each link's buffered-but-unconsumed draws are topped up — with
+        *committed* draws from that link's own substream — to a common
+        ``width``, then laid out column-per-link so draw index ``j`` of
+        every link is row ``j`` of ``plan.ratios``.  Block partitioning
+        is draw-invisible (see :data:`DRAW_CHUNK`), so the top-up sizes
+        may differ per link without perturbing any link's sequence.
+        Ratios are the scalar path's ``db_to_ratio`` — python ``10 **``
+        per draw; numpy's pow differs in the last ULP and is never used
+        here — and storing them into a float64 array is value-exact.
+        """
+        ch = self.channel
+        prop = ch.propagation
+        keys = [(tx_id, rx_id) for rx_id in plan.rx_ids]
+        entries = [self._draws.setdefault(key, [[], 0]) for key in keys]
+        pendings = [entry[0][entry[1]:] for entry in entries]
+        width = max(INITIAL_DRAW_CHUNK, max(len(p) for p in pendings))
+        for key, entry, pending in zip(keys, entries, pendings):
+            need = width - len(pending)
+            if need > 0:
+                pending = pending + prop.shadowing_block(
+                    ch._link_rng(key[0], key[1]), need
+                ).tolist()
+            entry[0] = pending
+            entry[1] = 0
+        plan.keys = keys
+        ratio_mat = np.array(
+            [
+                [10.0 ** (entry[0][j] / 10.0) for entry in entries]
+                for j in range(width)
+            ],
+            dtype=np.float64,
+        )
+        plan.rows = (plan.mw_arr * ratio_mat).tolist()
+        plan.cursor = 0
+        plan.width = width
+
+    def _refill_plan(self, plan: _SenderPlan) -> None:
+        """Every link of an exhausted plan pulls a fresh block.
+
+        Widths double per refill up to :data:`DRAW_CHUNK`, so a plan
+        that serves only a few frames never commits — or pays the
+        ratio-pow and matrix-assembly cost for — a full-width window,
+        while long-lived plans amortize toward the cap.
+        """
+        ch = self.channel
+        prop = ch.propagation
+        width = plan.width * 2
+        if width > DRAW_CHUNK:
+            width = DRAW_CHUNK
+        cols = []
+        for key in plan.keys:
+            offsets = prop.shadowing_block(
+                ch._link_rng(key[0], key[1]), width
+            ).tolist()
+            entry = self._draws[key]
+            entry[0] = offsets
+            entry[1] = 0
+            cols.append([10.0 ** (x / 10.0) for x in offsets])
+        ratio_mat = np.array(cols, dtype=np.float64).T
+        plan.rows = (plan.mw_arr * ratio_mat).tolist()
+        plan.cursor = 0
+        plan.width = width
+
+    def _retire_plan(self, plan: _SenderPlan) -> None:
+        """Write a dying plan's draw consumption back to the buffers.
+
+        The per-link entries already hold the plan's full draw window
+        (``_build_draw_matrix`` / ``_refill_plan`` store the offsets
+        there with position 0), so retirement just records how many
+        were consumed.  No draw is ever skipped or re-read: the next
+        consumer — a successor plan or :meth:`_next_offset` — continues
+        exactly where the scalar path would be.
+        """
+        if plan.rows is None:
+            return
+        cursor = plan.cursor
+        if cursor:
+            draws = self._draws
+            for key in plan.keys:
+                draws[key][1] = cursor
+        plan.rows = None
+
+    def _next_offset(self, tx_id: int, rx_id: int) -> float:
+        """The link's next shadowing draw, from its buffered block.
+
+        Identical to ``propagation.shadowing_db(channel._link_rng(...))``
+        on the scalar path: blocks are filled from the same memoized
+        substream generator, and an array fill consumes the bit stream
+        exactly as sequential scalar draws would.  Live plans are
+        retired first so their matrix cursors are flushed into the
+        shared buffers before this reads them.
+        """
+        for row in self._rows.values():
+            if row.plan is not None:
+                self._retire_plan(row.plan)
+                row.plan = None
+        entry = self._draws.setdefault((tx_id, rx_id), [[], 0])
+        pos = entry[1]
+        if pos >= len(entry[0]):
+            entry[0] = self.channel.propagation.shadowing_block(
+                self.channel._link_rng(tx_id, rx_id), DRAW_CHUNK
+            ).tolist()
+            pos = 0
+        entry[1] = pos + 1
+        return entry[0][pos]
+
+    # ------------------------------------------------------------------
+    # Transmit path (replaces Channel.transmit's receiver loop)
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "Radio", frame: "Frame") -> "Transmission":
+        """Vectorized counterpart of :meth:`Channel.transmit`."""
+        ch = self.channel
+        sim = ch.sim
+        duration = ch.timing.frame_airtime_ns(frame)
+        tx = self._transmission_cls(frame, sender, sim.now, sim.now + duration)
+        ch._active.append(tx)
+        ch.frames_sent += 1
+        self.batches += 1
+
+        plan = self._plan(sender)
+        rx_radios = plan.rx_radios
+        rx_ids = plan.rx_ids
+        rx_power = tx.rx_power_mw
+        rows = plan.rows
+        if rows is not None:
+            # per_frame with shadowing: powers were composed in bulk at
+            # matrix build time (one broadcast multiply of the cached
+            # means by the ratio matrix — IEEE-exact per element, the
+            # scalar ``mean_mw * db_to_ratio(offset)``), so a frame
+            # costs one list index.
+            j = plan.cursor
+            if j >= plan.width:
+                self._refill_plan(plan)  # rebinds plan.rows
+                rows = plan.rows
+                j = 0
+            plan.cursor = j + 1
+            powers = rows[j]
+            rx_power.update(zip(rx_ids, powers))
+        elif ch.shadowing_mode == "per_link":
+            powers = []
+            for k, rx_id in enumerate(rx_ids):
+                power = ch._received_power_mw(sender, rx_radios[k], frame)
+                rx_power[rx_id] = power
+                powers.append(power)
+        else:
+            # "none", or degenerate per_frame with sigma == 0 (the scalar
+            # path draws no offset and multiplies by ratio(0) == 1.0).
+            powers = plan.mw
+            rx_power.update(zip(rx_ids, powers))
+        self.links += len(rx_radios)
+        self._rx_of[tx] = rx_radios
+
+        latency = ch.air_latency_ns
+        if rx_radios:
+            rate = frame.rate
+            last = self._last_rate
+            if last is not None and last[0] is rate:
+                sens_mw, thr_ratio = last[1]
+            else:
+                sens_mw, thr_ratio = consts = self._rate_constants(rate)
+                self._last_rate = (rate, consts)
+            embed = bool(frame.meta.get("embedded_announce"))
+            if not latency:
+                self.deliver_air_start(
+                    tx, rx_radios, powers, sens_mw, thr_ratio, embed
+                )
+            else:
+                sim.schedule(
+                    latency, self.deliver_air_start, tx, rx_radios, powers,
+                    sens_mw, thr_ratio, embed,
+                )
+        culled = plan.culled
+        ch.links_culled += culled
+        if ch.trace.wants("channel"):
+            ch.trace.record(
+                "channel", "tx-start",
+                frame=frame.describe(), sender=sender.radio_id, culled=culled,
+            )
+        sim.schedule(duration, ch._end_transmission, tx)
+        return tx
+
+    # ------------------------------------------------------------------
+    # Batch delivery (inlined mirrors of Radio.on_air_start / on_air_end;
+    # see the sync-contract note in repro/phy/radio.py)
+    # ------------------------------------------------------------------
+    def deliver_air_start(
+        self,
+        tx: "Transmission",
+        rx_radios: List["Radio"],
+        powers: List[float],
+        sens_mw: float,
+        thr_ratio: float,
+        embed: bool,
+    ) -> None:
+        """Start-of-air for every receiver of one frame, in attach order.
+
+        Field-for-field mirror of :meth:`Radio.on_air_start` with the
+        frame constants hoisted.  The decode precondition is the same
+        exact float compare the scalar radio performs
+        (``power >= sensitivity``), evaluated inline; the detect
+        compare (``power >= noise_floor``) runs lazily, only on the
+        rare idle-but-undecodable branch.  The energy memo is brought
+        clean *before* the append, so ``cache + power`` equals the
+        ordered dict sum the scalar memo would recompute —
+        bit-identical, including across removals (which force a full
+        ordered recompute either way).
+        """
+        _ReceptionLock = self._lock_cls
+        for radio, power in zip(rx_radios, powers):
+            if not radio._attached:
+                continue  # delivery raced a detach
+            in_air = radio._in_air
+            if radio._hotpath:
+                if radio._energy_dirty:
+                    radio._energy_cache = (
+                        sum(in_air.values()) if in_air else 0.0
+                    )
+                in_air[tx] = power
+                energy = radio._energy_cache + power
+                radio._energy_cache = energy
+                radio._energy_dirty = False
+            else:
+                in_air[tx] = power
+                energy = sum(in_air.values())
+            if radio._current_tx is None:
+                lock = radio._lock
+                if lock is None:
+                    if power >= sens_mw:
+                        lock = _ReceptionLock(tx, power, energy - power)
+                        radio._lock = lock
+                        if embed:
+                            radio._maybe_schedule_embedded_decode(lock)
+                    elif power >= radio._noise_mw:
+                        radio.frames_missed += 1
+                elif (
+                    radio.config.capture
+                    and power >= sens_mw
+                    and power / (energy - power + radio._noise_mw) >= thr_ratio
+                ):
+                    radio.frames_missed += 1
+                    lock = _ReceptionLock(tx, power, energy - power)
+                    radio._lock = lock
+                    if embed:
+                        radio._maybe_schedule_embedded_decode(lock)
+                else:
+                    interference = energy - lock.signal_mw
+                    if interference > lock.max_interference_mw:
+                        lock.max_interference_mw = interference
+            # While transmitting the radio is deaf (energy still counts).
+            busy = (
+                radio._current_tx is not None
+                or energy >= radio._cs_threshold_mw
+            )
+            if busy != radio._busy:
+                radio._busy = busy
+                mac = radio.mac
+                if mac is not None:
+                    if busy:
+                        mac.on_medium_busy()
+                    else:
+                        mac.on_medium_idle()
+            cb = radio._energy_cb
+            if cb is not None:
+                cb(energy)
+
+    def deliver_air_end(self, tx: "Transmission") -> None:
+        """End-of-air for every observer of ``tx``, in attach order.
+
+        Mirror of :meth:`Radio.on_air_end`.  The post-removal energy is
+        a full ordered recompute (``Radio.energy_mw``) — incremental
+        subtraction is *not* float-associative-safe, so it is never
+        used.  The receiver list is the one captured at transmit time
+        (same objects, same order as ``tx.rx_power_mw``); a radio that
+        detached mid-air is skipped by its ``_attached`` flag, exactly
+        as the id-map lookup used to skip it.
+        """
+        rx_radios = self._rx_of.pop(tx, None)
+        if rx_radios is None:
+            return
+        for radio in rx_radios:
+            if not radio._attached:
+                continue  # detached radios never hear the end
+            in_air = radio._in_air
+            in_air.pop(tx, None)
+            radio._energy_dirty = True
+            lock = radio._lock
+            if lock is not None and lock.tx is tx:
+                radio._lock = None
+                radio._finish_reception(lock)
+            # Inline Radio.energy_mw: the post-removal sum is always a
+            # full ordered recompute (incremental subtraction is not
+            # float-associative-safe); memoize it for the hot path.
+            energy = sum(in_air.values()) if in_air else 0.0
+            if radio._hotpath:
+                radio._energy_cache = energy
+                radio._energy_dirty = False
+            busy = (
+                radio._current_tx is not None
+                or energy >= radio._cs_threshold_mw
+            )
+            if busy != radio._busy:
+                radio._busy = busy
+                mac = radio.mac
+                if mac is not None:
+                    if busy:
+                        mac.on_medium_busy()
+                    else:
+                        mac.on_medium_idle()
+            cb = radio._energy_cb
+            if cb is not None:
+                cb(energy)

@@ -15,6 +15,12 @@ Design notes
   heap entry is discarded lazily when popped.  This is O(1) per cancel and
   keeps the hot loop branch-light — the standard approach for MAC
   simulations where backoff timers are cancelled constantly.
+* **Tuple heap entries.**  The heap stores ``(time, seq, handle)``
+  tuples, not handles, so every sift comparison is a C-level tuple
+  compare — ``seq`` is unique, so ordering is decided before the handle
+  is ever compared.  A dense saturated cell pushes tens of thousands of
+  events through the heap; python-level ``__lt__`` dispatch on each
+  comparison was a measurable share of the whole run.
 * **Heap hygiene.**  The engine maintains an exact live-event count
   (``pending_events`` is O(1), not a queue scan) and compacts the heap
   when tombstones exceed both half the heap and a floor of
@@ -136,7 +142,8 @@ class Simulator:
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: List[EventHandle] = []
+        # Heap of (time, seq, handle); see the tuple-entry design note.
+        self._queue: List[tuple] = []
         self._running = False
         self._events_fired = 0
         self._live = 0  # exact count of scheduled, not-cancelled, not-fired events
@@ -203,10 +210,25 @@ class Simulator:
 
         ``delay`` must be a non-negative integer; zero-delay events run
         after all events already scheduled for the current instant.
+
+        This is the engine's hottest entry point (every frame schedules
+        at least its end-of-air and delivery), so the body inlines
+        :meth:`schedule_at` rather than delegating — a non-negative
+        delay from ``now`` can never land in the past, making the
+        absolute-time check redundant here.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        time = self._now + int(delay)
+        self._seq += 1
+        seq = self._seq
+        handle = EventHandle(time, seq, callback, args, self)
+        queue = self._queue
+        heapq.heappush(queue, (time, seq, handle))
+        self._live += 1
+        if len(queue) > self._heap_peak:
+            self._heap_peak = len(queue)
+        return handle
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
@@ -216,7 +238,7 @@ class Simulator:
             )
         self._seq += 1
         handle = EventHandle(int(time), self._seq, callback, args, self)
-        heapq.heappush(self._queue, handle)
+        heapq.heappush(self._queue, (handle.time, self._seq, handle))
         self._live += 1
         if len(self._queue) > self._heap_peak:
             self._heap_peak = len(self._queue)
@@ -240,7 +262,7 @@ class Simulator:
         ordering invariant, so firing order is unchanged.  Safe mid-run:
         the run loop re-reads ``self._queue`` every iteration.
         """
-        self._queue = [handle for handle in self._queue if not handle.cancelled]
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._compactions += 1
 
@@ -265,26 +287,28 @@ class Simulator:
         streak = 0
         try:
             while self._queue:
-                handle = self._queue[0]
+                entry = self._queue[0]
+                handle = entry[2]
                 if handle.cancelled:
                     heapq.heappop(self._queue)
                     continue
-                if until is not None and handle.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
                 heapq.heappop(self._queue)
-                self._now = handle.time
+                self._now = time
                 if watchdog_limit is not None:
-                    if handle.time == streak_time:
+                    if time == streak_time:
                         streak += 1
                     else:
-                        streak_time = handle.time
+                        streak_time = time
                         streak = 1
                     if streak > watchdog_limit:
                         # Push the unfired event back so pending_events and
                         # the queue stay consistent for post-mortem reads.
-                        heapq.heappush(self._queue, handle)
+                        heapq.heappush(self._queue, entry)
                         self._watchdog_trips += 1
                         name = getattr(
                             handle.callback, "__qualname__", repr(handle.callback)

@@ -1,70 +1,150 @@
-"""The ``REPRO_HOTPATH`` knob: cached hot-path math vs. full re-derivation.
+"""Execution-mode knobs: a small registry of env-gated feature toggles.
 
-The frame hot path caches values that are pure functions of inputs that
-rarely change — linear-domain (mW) mean received powers per (tx, rx)
-pair, per-rate sensitivity/SIR constants, per-(rate, size) frame
-airtimes.  The discipline is *cache, never re-derive*: every cached
-value is produced by exactly the same expression the uncached path
-evaluates, so enabling the caches is bit-identical to recomputing from
-scratch.  ``REPRO_HOTPATH=off`` (or ``0``/``false``) force-disables all
-of them, giving a slow reference path used by the equivalence tests in
-``tests/test_hotpath_equivalence.py`` and as the baseline of
-``benchmarks/bench_engine_throughput.py``'s hot-path bench.
+The simulator has two performance modes, both read from the environment
+once and both overridable programmatically:
 
-The flag is read from the environment once (consumers sit on per-frame
-paths where an ``os.environ`` lookup per call would itself be a cost)
-and can be overridden programmatically with :func:`set_hotpath` —
-``None`` restores deference to the environment.
+``hotpath`` (``REPRO_HOTPATH``, default **on**)
+    Cached hot-path math vs. full re-derivation.  The frame hot path
+    caches values that are pure functions of inputs that rarely change —
+    linear-domain (mW) mean received powers per (tx, rx) pair, per-rate
+    sensitivity/SIR constants, per-(rate, size) frame airtimes.  The
+    discipline is *cache, never re-derive*: every cached value is
+    produced by exactly the same expression the uncached path evaluates,
+    so enabling the caches is bit-identical to recomputing from scratch.
+    ``REPRO_HOTPATH=off`` (or ``0``/``false``/``no``) force-disables all
+    of them, giving a slow reference path used by the equivalence tests
+    in ``tests/test_hotpath_equivalence.py`` and as the baseline of
+    ``benchmarks/bench_engine_throughput.py``'s hot-path bench.
+
+``vector`` (``REPRO_VECTOR``, default **off**)
+    The struct-of-arrays channel backend (:mod:`repro.phy.vector`): per
+    transmitted frame, all candidate receivers are evaluated in one
+    batched pass — dense mean-power rows, array-computed culling,
+    bulk-composed per-link shadowing draws — instead of the
+    per-receiver scalar loop.  Requires numpy (``pip install
+    repro[vector]``); enabling it without numpy raises ``RuntimeError``
+    at channel construction.  Equivalence against the scalar path is
+    pinned by ``tests/test_vector_equivalence.py``.
+
+Both flags are read from the environment once (consumers sit on
+per-frame paths where an ``os.environ`` lookup per call would itself be
+a cost) and can be overridden programmatically — ``None`` restores
+deference to the environment.  Objects that sample a flag at
+construction time (``Channel``, ``Radio``) must be rebuilt to observe a
+change; the benches and equivalence tests construct one network per
+mode for exactly this reason.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
 
-#: Environment knob: ``off``/``0``/``false`` disables hot-path caching.
+#: Environment knob: ``off``/``0``/``false``/``no`` disables hot-path caching.
 HOTPATH_ENV = "REPRO_HOTPATH"
 
-#: Values (lower-cased) that disable the hot path.
+#: Environment knob: any other non-empty value (``1``/``on``/...) enables
+#: the vectorized channel backend.
+VECTOR_ENV = "REPRO_VECTOR"
+
+#: Values (lower-cased) that read as "disabled" for any mode knob.
 _DISABLED_VALUES = ("off", "0", "false", "no")
 
-_enabled: Optional[bool] = None
+
+@dataclass
+class _Mode:
+    """One env-gated execution-mode flag.
+
+    ``cached`` holds the resolved state (``None`` = not yet read);
+    ``override`` pins the state programmatically (``None`` = defer to
+    the environment).
+    """
+
+    env: str
+    default: bool
+    override: Optional[bool] = None
+    cached: Optional[bool] = field(default=None, repr=False)
+
+    def enabled(self) -> bool:
+        if self.override is not None:
+            return self.override
+        if self.cached is None:
+            raw = os.environ.get(self.env, "").strip().lower()
+            if not raw:
+                self.cached = self.default
+            else:
+                self.cached = raw not in _DISABLED_VALUES
+        return self.cached
+
+    def set(self, enabled: Optional[bool]) -> None:
+        self.override = enabled
+        if enabled is None:
+            self.cached = None  # re-read the environment on next query
 
 
-def _from_env() -> bool:
-    raw = os.environ.get(HOTPATH_ENV, "").strip().lower()
-    return raw not in _DISABLED_VALUES if raw else True
+#: The registry.  New modes register here; consumers address them by name.
+_MODES: Dict[str, _Mode] = {
+    "hotpath": _Mode(env=HOTPATH_ENV, default=True),
+    "vector": _Mode(env=VECTOR_ENV, default=False),
+}
 
 
-def hotpath_enabled() -> bool:
-    """True when hot-path caches are active (the default)."""
-    global _enabled
-    if _enabled is None:
-        _enabled = _from_env()
-    return _enabled
+def mode_enabled(name: str) -> bool:
+    """True when the named mode is active (override > env > default)."""
+    return _MODES[name].enabled()
 
 
-def set_hotpath(enabled: Optional[bool]) -> None:
-    """Override the knob programmatically.
+def set_mode(name: str, enabled: Optional[bool]) -> None:
+    """Override a mode programmatically.
 
     ``True``/``False`` pin the state; ``None`` re-reads the environment
-    on the next :func:`hotpath_enabled` call.  Objects that sample the
-    flag at construction time (``Channel``, ``Radio``) must be rebuilt
-    to observe a change — the benches and equivalence tests construct
-    one network per mode for exactly this reason.
+    on the next :func:`mode_enabled` call.
     """
-    global _enabled
-    _enabled = enabled
+    _MODES[name].set(enabled)
 
 
 @contextmanager
-def hotpath_forced(enabled: bool) -> Iterator[None]:
-    """Pin the knob inside a block, restoring the prior state after."""
-    global _enabled
-    previous = _enabled
-    _enabled = enabled
+def mode_forced(name: str, enabled: bool) -> Iterator[None]:
+    """Pin a mode inside a block, restoring the prior override after."""
+    mode = _MODES[name]
+    previous = mode.override
+    mode.set(enabled)
     try:
         yield
     finally:
-        _enabled = previous
+        mode.set(previous)
+
+
+# ----------------------------------------------------------------------
+# Named accessors (the stable public API)
+# ----------------------------------------------------------------------
+def hotpath_enabled() -> bool:
+    """True when hot-path caches are active (the default)."""
+    return mode_enabled("hotpath")
+
+
+def set_hotpath(enabled: Optional[bool]) -> None:
+    """Override the hot-path knob; ``None`` defers to the environment."""
+    set_mode("hotpath", enabled)
+
+
+def hotpath_forced(enabled: bool):
+    """Pin the hot-path knob inside a block, restoring after."""
+    return mode_forced("hotpath", enabled)
+
+
+def vector_enabled() -> bool:
+    """True when the vectorized channel backend is active (default off)."""
+    return mode_enabled("vector")
+
+
+def set_vector(enabled: Optional[bool]) -> None:
+    """Override the vector knob; ``None`` defers to the environment."""
+    set_mode("vector", enabled)
+
+
+def vector_forced(enabled: bool):
+    """Pin the vector knob inside a block, restoring after."""
+    return mode_forced("vector", enabled)

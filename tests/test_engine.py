@@ -368,7 +368,9 @@ class TestLivePendingCount:
                 rng.choice(handles).cancel()
             else:
                 sim.run(max_events=rng.randrange(1, 4))
-        scan = sum(1 for h in sim._queue if not h.cancelled and not h.fired)
+        scan = sum(
+            1 for _, _, h in sim._queue if not h.cancelled and not h.fired
+        )
         assert sim.pending_events == scan
 
 
@@ -438,7 +440,7 @@ class TestHeapCompaction:
         counters = sim.counters()
         assert counters["heap_peak"] == 6
         assert counters["heap_compactions"] == 0
-        for handle in list(sim._queue)[:5]:
+        for _, _, handle in list(sim._queue)[:5]:
             handle.cancel()
         counters = sim.counters()
         assert counters["heap_compactions"] >= 1

@@ -18,7 +18,7 @@ from repro.experiments.topologies import (
 )
 from repro.faults import FaultPlan
 
-from tests.test_hotpath_equivalence import _node_counters, _sparse_floor
+from tests.goldens import _sparse_floor, node_counters
 
 
 def _run_pair(build, duration_s):
@@ -36,7 +36,7 @@ class TestEmptyPlanEquivalence:
         bare, res_bare, faulted, res_faulted, injector = _run_pair(
             build, duration_s
         )
-        assert _node_counters(bare) == _node_counters(faulted)
+        assert node_counters(bare) == node_counters(faulted)
         assert res_bare.per_flow_mbps() == res_faulted.per_flow_mbps()
         # Empty plan: the faults/ namespace is present and all-zero.
         snapshot = faulted.counters()

@@ -23,7 +23,8 @@ class TestGenerate:
         out = str(tmp_path / "results")
         path = generate(out, scale="quick", seed=0)
         assert os.path.exists(path)
-        text = open(path).read()
+        with open(path) as handle:
+            text = handle.read()
         for fig in ("Figs. 1 & 8", "Fig. 2", "Fig. 6", "Fig. 7", "Fig. 9",
                     "Fig. 10", "Table I"):
             assert fig in text

@@ -1,0 +1,261 @@
+"""Property tests for the vector backend's pure array kernels.
+
+Each kernel has a scalar counterpart on the radio/analytics path; these
+tests pin the agreement contract per kernel:
+
+* exact ops (dB↔ratio conversions via python pow/log, float64 compares,
+  ``derive_seeds``) must agree **bit for bit** with their scalar twins;
+* transcendental batch helpers (``mean_rx_dbm_batch``, ``prr_batch``,
+  ``carrier_sense_miss_batch``) go through numpy/scipy SIMD code and
+  are pinned at ``allclose`` precision plus their analytic shape
+  (monotonicity, step behavior at sigma = 0, domain errors).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.propagation import LogNormalShadowing
+from repro.phy.prr import PrrModel, _standard_normal_cdf
+from repro.phy.rates import (
+    OFDM_RATES,
+    rate_constants,
+    sensitivity_mw,
+    sir_threshold_ratio,
+)
+from repro.phy.vector import capture_mask, decode_masks, sir_ok_mask
+from repro.util.rng import derive_seed, derive_seeds
+from repro.util.units import db_to_ratio, dbm_to_mw, ratio_to_db
+
+_db = st.floats(min_value=-200.0, max_value=200.0,
+                allow_nan=False, allow_infinity=False)
+_mw = st.floats(min_value=1e-15, max_value=1e6,
+                allow_nan=False, allow_infinity=False)
+_distance = st.floats(min_value=0.5, max_value=10_000.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+# ----------------------------------------------------------------------
+# dB <-> ratio algebra (exact scalar helpers the kernels build on)
+# ----------------------------------------------------------------------
+class TestDbAlgebra:
+    @given(db=_db)
+    @settings(deadline=None)
+    def test_round_trip(self, db):
+        assert math.isclose(ratio_to_db(db_to_ratio(db)), db,
+                            rel_tol=0, abs_tol=1e-9)
+
+    def test_identity_at_zero(self):
+        assert db_to_ratio(0.0) == 1.0
+        assert ratio_to_db(1.0) == 0.0
+        assert dbm_to_mw(0.0) == 1.0
+
+    @given(a=_db, b=_db)
+    @settings(deadline=None)
+    def test_monotone(self, a, b):
+        if a < b:
+            assert db_to_ratio(a) <= db_to_ratio(b)
+        if a + 1e-9 < b:  # strict once the gap survives float rounding
+            assert db_to_ratio(a) < db_to_ratio(b)
+
+    def test_ratio_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ratio_to_db(0.0)
+        with pytest.raises(ValueError):
+            ratio_to_db(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Batched seed derivation
+# ----------------------------------------------------------------------
+class TestDeriveSeeds:
+    @given(
+        base=st.integers(min_value=0, max_value=2**32),
+        prefix=st.tuples(st.text(max_size=8), st.integers(0, 1 << 20)),
+        keys=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_batch_matches_scalar_elementwise(self, base, prefix, keys):
+        batch = derive_seeds(base, *prefix, keys=keys)
+        assert batch.dtype == np.uint64
+        assert [int(s) for s in batch] == [
+            derive_seed(base, *prefix, k) for k in keys
+        ]
+
+    def test_injective_over_link_grid(self):
+        # The vector backend's row keys: ("shadowing", band, tx, rx).
+        keys = [(tx, rx) for tx in range(50) for rx in range(50) if tx != rx]
+        seeds = derive_seeds(123, "shadowing", 0, keys=keys)
+        assert len(keys) == 2450
+        assert len(set(int(s) for s in seeds)) == len(keys)
+
+    def test_prefix_is_part_of_identity(self):
+        a = derive_seeds(7, "shadowing", 0, keys=[1, 2, 3])
+        b = derive_seeds(7, "shadowing", 1, keys=[1, 2, 3])
+        assert not set(map(int, a)) & set(map(int, b))
+
+
+# ----------------------------------------------------------------------
+# Rate constants
+# ----------------------------------------------------------------------
+class TestRateConstants:
+    @pytest.mark.parametrize("rate", list(OFDM_RATES))
+    def test_matches_cached_scalar_helpers(self, rate):
+        sens, thr = rate_constants(rate)
+        assert sens == sensitivity_mw(rate)
+        assert thr == sir_threshold_ratio(rate)
+        # And those are exactly the python-pow conversions the radio uses.
+        assert sens == 10.0 ** (rate.sensitivity_dbm / 10.0)
+        assert thr == 10.0 ** (rate.sir_threshold_db / 10.0)
+
+    def test_cached_identity(self):
+        rate = OFDM_RATES.by_bps(6_000_000)
+        assert rate_constants(rate) is rate_constants(rate)
+
+
+# ----------------------------------------------------------------------
+# Decision masks vs the scalar radio expressions
+# ----------------------------------------------------------------------
+_power_batch = st.lists(_mw, min_size=1, max_size=24)
+
+
+class TestDecisionMasks:
+    @given(powers=_power_batch, sens_db=_db, noise_dbm=st.just(-101.0))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_masks_match_scalar_compares(self, powers, sens_db, noise_dbm):
+        sens = db_to_ratio(sens_db) * 1e-9
+        noise = [dbm_to_mw(noise_dbm)] * len(powers)
+        decodable, detectable = decode_masks(powers, sens, noise)
+        assert decodable.tolist() == [p >= sens for p in powers]
+        assert detectable.tolist() == [p >= n for p, n in zip(powers, noise)]
+
+    @given(
+        signal=_power_batch,
+        interference=_mw,
+        noise=_mw,
+        thr_db=st.floats(min_value=0.0, max_value=30.0,
+                         allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sir_mask_matches_scalar(self, signal, interference, noise, thr_db):
+        thr = db_to_ratio(thr_db)
+        mask = sir_ok_mask(signal, [interference] * len(signal),
+                           [noise] * len(signal), thr)
+        # Radio._sir_ok: signal / (interference + noise) >= threshold.
+        assert mask.tolist() == [
+            s / (interference + noise) >= thr for s in signal
+        ]
+
+    @given(
+        powers=_power_batch,
+        extra_mw=_mw,
+        noise=_mw,
+        thr_db=st.floats(min_value=0.0, max_value=30.0,
+                         allow_nan=False, allow_infinity=False),
+        sens_dbm=st.floats(min_value=-100.0, max_value=-60.0,
+                           allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capture_mask_matches_scalar(
+        self, powers, extra_mw, noise, thr_db, sens_dbm
+    ):
+        # energy = own power + everything else in the air, as on_air_start
+        # sees it right after appending the new frame.
+        energy = [p + extra_mw for p in powers]
+        thr = db_to_ratio(thr_db)
+        sens = dbm_to_mw(sens_dbm)
+        mask = capture_mask(powers, energy, [noise] * len(powers), sens, thr)
+        # Radio._captures_over_lock: decodable AND clears SIR against all
+        # other in-air energy plus noise.
+        assert mask.tolist() == [
+            p >= sens and p / (e - p + noise) >= thr
+            for p, e in zip(powers, energy)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Analytics batch helpers (allclose vs scalar loops)
+# ----------------------------------------------------------------------
+def _model(sigma_db):
+    return PrrModel(
+        propagation=LogNormalShadowing(alpha=3.3, sigma_db=sigma_db),
+        t_sir_db=10.0,
+    )
+
+
+class TestAnalyticsBatches:
+    @given(
+        d=st.lists(_distance, min_size=1, max_size=16),
+        r=st.lists(_distance, min_size=1, max_size=16),
+        sigma=st.sampled_from([0.0, 4.0, 8.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prr_batch_matches_scalar_loop(self, d, r, sigma):
+        n = min(len(d), len(r))
+        d, r = d[:n], r[:n]
+        model = _model(sigma)
+        batch = model.prr_batch(d, r)
+        scalar = [model.prr(di, ri) for di, ri in zip(d, r)]
+        assert np.allclose(batch, scalar, rtol=1e-12, atol=1e-12)
+        assert bool(np.all((batch >= 0.0) & (batch <= 1.0)))
+
+    def test_prr_monotone_in_interferer_distance(self):
+        # A farther interferer can only help reception (paper eq. 3).
+        model = _model(4.0)
+        d = np.full(50, 30.0)
+        r = np.linspace(10.0, 500.0, 50)
+        prr = model.prr_batch(d, r)
+        assert bool(np.all(np.diff(prr) >= 0.0))
+
+    def test_prr_sigma_zero_is_step(self):
+        model = _model(0.0)
+        assert model.prr_batch([10.0], [1_000.0])[0] == 1.0
+        assert model.prr_batch([1_000.0], [10.0])[0] == 0.0
+
+    @given(
+        r=st.lists(_distance, min_size=1, max_size=16),
+        sigma=st.sampled_from([0.0, 4.0, 8.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cs_miss_batch_matches_scalar_loop(self, r, sigma):
+        model = _model(sigma)
+        batch = model.carrier_sense_miss_batch(r, 20.0, -80.0)
+        scalar = [
+            model.carrier_sense_miss_probability(ri, 20.0, -80.0) for ri in r
+        ]
+        assert np.allclose(batch, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_cs_miss_monotone_in_distance(self):
+        model = _model(4.0)
+        r = np.linspace(10.0, 2_000.0, 50)
+        miss = model.carrier_sense_miss_batch(r, 20.0, -80.0)
+        assert bool(np.all(np.diff(miss) >= 0.0))
+
+    @pytest.mark.parametrize("bad", [[0.0], [-5.0], [10.0, 0.0]])
+    def test_batches_reject_non_positive_distances(self, bad):
+        model = _model(4.0)
+        with pytest.raises(ValueError):
+            model.prr_batch(bad, [10.0] * len(bad))
+        with pytest.raises(ValueError):
+            model.prr_batch([10.0] * len(bad), bad)
+        with pytest.raises(ValueError):
+            model.carrier_sense_miss_batch(bad, 20.0, -80.0)
+
+    @given(d=st.lists(_distance, min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_rx_batch_matches_scalar(self, d):
+        prop = LogNormalShadowing(alpha=3.3, sigma_db=4.0)
+        batch = prop.mean_rx_dbm_batch(20.0, np.asarray(d))
+        scalar = [prop.mean_rx_dbm(20.0, di) for di in d]
+        assert np.allclose(batch, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_phi_batch_matches_scalar_phi(self):
+        x = np.linspace(-6.0, 6.0, 201)
+        from repro.phy.prr import _standard_normal_cdf_batch
+
+        batch = _standard_normal_cdf_batch(x)
+        scalar = [_standard_normal_cdf(xi) for xi in x]
+        assert np.allclose(batch, scalar, rtol=1e-13, atol=1e-15)
