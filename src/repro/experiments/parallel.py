@@ -285,24 +285,44 @@ class ResultCache:
         except OSError:
             return  # read-only/full disk: caching is best-effort
 
-    def clear(self) -> int:
+    #: ``clear()`` only reaps ``.tmp`` files at least this old (seconds).
+    #: A fresh ``.tmp`` belongs to a *live* concurrent writer mid-
+    #: :meth:`put` — several queue workers share one cache directory —
+    #: and deleting it would make the writer's ``os.replace`` fail,
+    #: silently losing that entry.  A dead writer's orphan just waits
+    #: out the guard before the next ``clear()`` removes it.
+    ORPHAN_AGE_S = 60.0
+
+    def clear(self, orphan_age_s: Optional[float] = None) -> int:
         """Delete all cache entries; returns the number removed.
 
         Also reaps ``.tmp`` orphans left by writers that died mid-put
         (those never count toward the removed total — they were never
-        entries).
+        entries) — but only orphans older than ``orphan_age_s``
+        (default :data:`ORPHAN_AGE_S`), so a concurrent worker that is
+        *currently* between ``mkstemp`` and ``os.replace`` on a shared
+        cache directory never has its temp file yanked away mid-write.
         """
+        if orphan_age_s is None:
+            orphan_age_s = self.ORPHAN_AGE_S
         removed = 0
+        now = time.time()
         try:
             names = os.listdir(self.root)
         except OSError:
             return 0
         for name in names:
-            if name.endswith(".json") or name.endswith(".tmp"):
+            path = os.path.join(self.root, name)
+            if name.endswith(".json"):
                 try:
-                    os.unlink(os.path.join(self.root, name))
-                    if name.endswith(".json"):
-                        removed += 1
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+            elif name.endswith(".tmp"):
+                try:
+                    if now - os.path.getmtime(path) >= orphan_age_s:
+                        os.unlink(path)
                 except OSError:
                     pass
         return removed
@@ -525,6 +545,77 @@ def run_tasks(
     return results
 
 
+def split_common_params(
+    tasks: Sequence[SweepTask],
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Common-kwargs intersection plus per-task overrides (JSON-safe).
+
+    A sweep manifest's ``params`` field used to record
+    ``tasks[0].kwargs`` wholesale, silently misreporting heterogeneous
+    grids (every task after the first could disagree with it).  Instead:
+    ``params`` is the intersection of keyword arguments shared — equal
+    after :func:`~repro.obs.manifest.jsonable` rendering — by *every*
+    task, and each task row carries only its deviations from that
+    intersection.  For a homogeneous grid the intersection equals the
+    old field and every override is empty.
+    """
+    rendered = [
+        {str(k): obs_manifest.jsonable(v) for k, v in task.kwargs.items()}
+        for task in tasks
+    ]
+    if not rendered:
+        return {}, []
+    common = {
+        key: value
+        for key, value in rendered[0].items()
+        if all(key in row and row[key] == value for row in rendered[1:])
+    }
+    overrides = [
+        {key: value for key, value in row.items() if key not in common}
+        for row in rendered
+    ]
+    return common, overrides
+
+
+def manifest_task_rows(
+    tasks: Sequence[SweepTask],
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Manifest task rows + common ``params`` for a task grid.
+
+    Shared by :func:`_write_sweep_manifest` and the sweep-queue merge
+    (:mod:`repro.experiments.queue`) so a merged manifest's grid
+    description is bit-identical to the one a single uninterrupted
+    :func:`run_tasks` call would have written.
+    """
+    common, overrides = split_common_params(tasks)
+    rows = []
+    for task, override in zip(tasks, overrides):
+        try:
+            fingerprint = task.fingerprint()
+        except TypeError:
+            fingerprint = "unfingerprintable"
+        row: Dict[str, Any] = {
+            "key": obs_manifest.jsonable(task.key),
+            "seed": task.kwargs.get("seed"),
+            "fingerprint": fingerprint,
+        }
+        if override:
+            row["overrides"] = override
+        rows.append(row)
+    return rows, common
+
+
+def grid_seeds(tasks: Sequence[SweepTask]) -> List[int]:
+    """Sorted distinct integer seeds across a task grid."""
+    return sorted(
+        {
+            int(task.kwargs["seed"])
+            for task in tasks
+            if isinstance(task.kwargs.get("seed"), int)
+        }
+    )
+
+
 def _write_sweep_manifest(
     directory: str,
     label: str,
@@ -537,33 +628,14 @@ def _write_sweep_manifest(
     failures: Optional[List[Dict[str, Any]]] = None,
 ) -> Optional[str]:
     """Write this sweep's run manifest; storage failures are non-fatal."""
-    task_rows = []
-    for task in tasks:
-        try:
-            fingerprint = task.fingerprint()
-        except TypeError:
-            fingerprint = "unfingerprintable"
-        task_rows.append(
-            {
-                "key": obs_manifest.jsonable(task.key),
-                "seed": task.kwargs.get("seed"),
-                "fingerprint": fingerprint,
-            }
-        )
-    seeds = sorted(
-        {
-            int(task.kwargs["seed"])
-            for task in tasks
-            if isinstance(task.kwargs.get("seed"), int)
-        }
-    )
+    task_rows, params = manifest_task_rows(tasks)
     manifest = obs_manifest.build_manifest(
         label=label,
         tasks=task_rows,
         jobs=jobs,
         wall_s=wall_s,
-        params=obs_manifest.jsonable(tasks[0].kwargs) if tasks else {},
-        seeds=seeds,
+        params=params,
+        seeds=grid_seeds(tasks),
         counters=global_registry().snapshot(),
         trace_counts=trace.counts(),
         cache_hits=cache.hits if cache is not None else 0,
@@ -585,20 +657,43 @@ def _run_pending(
     trace,
     policy: FailurePolicy,
 ) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
-    """Run the not-yet-cached tasks, parallel when possible."""
+    """Run the not-yet-cached tasks, parallel when possible.
+
+    Every pending task is probed for picklability individually:
+    unpicklable tasks run on the serial path while the rest still go
+    through the pool (one bad task used to either abort the whole pool
+    mid-batch or, when it happened to sit at ``pending[0]``, demote the
+    entire sweep to serial).  If the pool still fails — a task whose
+    kwargs probe fine but whose *result* will not pickle, missing fork
+    support, a dead worker — the serial fallback resumes only the
+    indices the pool did not finish: tasks already completed have had
+    their shipped counter deltas and trace events merged into the
+    parent registry, and re-running them would double-merge both.
+    """
+    completed: Dict[int, Tuple[Any, float]] = {}
+    failures: Dict[int, TaskFailure] = {}
     if not pending:
-        return {}, []
-    if jobs > 1 and len(pending) > 1 and _picklable(tasks[pending[0]]):
-        try:
-            return _run_parallel(tasks, pending, jobs, policy)
-        except (pickle.PicklingError, AttributeError, TypeError, OSError) as exc:
-            # Unpicklable mid-batch task, missing fork support, dead
-            # worker... — the sweep must finish either way.
-            trace.record(
-                "sweep", "serial_fallback", label=label,
-                reason=f"{type(exc).__name__}: {exc}",
-            )
-    return _run_serial(tasks, pending, policy)
+        return completed, []
+    serial_indices = list(pending)
+    if jobs > 1 and len(pending) > 1:
+        pooled = [index for index in pending if _picklable(tasks[index])]
+        if len(pooled) > 1:
+            pooled_set = set(pooled)
+            serial_indices = [i for i in pending if i not in pooled_set]
+            try:
+                _run_parallel(tasks, pooled, jobs, policy, completed, failures)
+            except (pickle.PicklingError, AttributeError, TypeError, OSError) as exc:
+                # The sweep must finish either way — but resume only the
+                # unfinished indices, never the already-merged ones.
+                trace.record(
+                    "sweep", "serial_fallback", label=label,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+                finished = set(completed) | set(failures)
+                serial_indices = [i for i in pending if i not in finished]
+    if serial_indices:
+        _run_serial(tasks, serial_indices, policy, completed, failures)
+    return completed, [failures[index] for index in sorted(failures)]
 
 
 def _picklable(task: SweepTask) -> bool:
@@ -642,11 +737,20 @@ def _fail_or_retry(
 
 
 def _run_serial(
-    tasks: Sequence[SweepTask], pending: List[int], policy: FailurePolicy
+    tasks: Sequence[SweepTask],
+    pending: List[int],
+    policy: FailurePolicy,
+    completed: Optional[Dict[int, Tuple[Any, float]]] = None,
+    failures: Optional[Dict[int, TaskFailure]] = None,
 ) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
-    """In-process execution honoring the same failure policy as the pool."""
-    completed: Dict[int, Tuple[Any, float]] = {}
-    failures: Dict[int, TaskFailure] = {}
+    """In-process execution honoring the same failure policy as the pool.
+
+    ``completed``/``failures`` may be passed in (and are mutated) so a
+    serial resume after a pool fallback extends the pool's partial
+    progress instead of discarding it.
+    """
+    completed = {} if completed is None else completed
+    failures = {} if failures is None else failures
     attempts = {index: 0 for index in pending}
     queue = deque(pending)
     while queue:
@@ -674,6 +778,8 @@ def _run_parallel(
     pending: List[int],
     jobs: int,
     policy: FailurePolicy,
+    completed: Optional[Dict[int, Tuple[Any, float]]] = None,
+    failures: Optional[Dict[int, TaskFailure]] = None,
 ) -> Tuple[Dict[int, Tuple[Any, float]], List[TaskFailure]]:
     """Pooled execution that survives raising, hanging, and dying tasks.
 
@@ -686,11 +792,14 @@ def _run_parallel(
     it ran and *is* charged, bounding the total number of respawns.
 
     ``pickle.PicklingError`` always re-raises so :func:`_run_pending`
-    can fall back to the serial path, exactly as before the hardening.
+    can fall back to the serial path.  ``completed``/``failures`` are
+    mutated in place, so when that fallback happens the caller still
+    sees everything the pool finished (and merged) before the error —
+    the fallback must not re-run those indices.
     """
     workers = min(jobs, len(pending))
-    completed: Dict[int, Tuple[Any, float]] = {}
-    failures: Dict[int, TaskFailure] = {}
+    completed = {} if completed is None else completed
+    failures = {} if failures is None else failures
     attempts = {index: 0 for index in pending}
     remaining = deque(pending)
     pool_breaks = 0

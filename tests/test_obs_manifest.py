@@ -6,20 +6,31 @@ import os
 
 import pytest
 
-from repro.experiments.parallel import SweepTask, run_tasks
+from repro.experiments.parallel import (
+    SweepTask,
+    run_tasks,
+    split_common_params,
+)
 from repro.obs.manifest import (
+    FRAGMENT_SCHEMA,
+    FRAGMENT_SCHEMA_VERSION,
     MANIFEST_DIR_ENV,
     MANIFEST_SCHEMA,
     MANIFEST_SCHEMA_VERSION,
     ManifestError,
     RunManifest,
     active_manifest_dir,
+    build_fragment,
     build_manifest,
     current_git_sha,
     jsonable,
+    load_fragment,
     load_manifest,
     manifest_sink,
+    merge_fragment_counters,
+    validate_fragment,
     validate_manifest,
+    write_fragment,
     write_manifest,
 )
 
@@ -177,3 +188,148 @@ class TestRunTasksIntegration:
         monkeypatch.setenv(MANIFEST_DIR_ENV, str(tmp_path))
         run_tasks(self.tasks(), jobs=1, label="env_sweep")
         assert (tmp_path / "env_sweep.manifest.json").exists()
+
+
+class TestSchemaVersions:
+    """Version 2 is written; archived version-1 manifests still load."""
+
+    def test_written_version_is_two(self):
+        assert MANIFEST_SCHEMA_VERSION == 2
+        assert make_manifest().to_dict()["version"] == 2
+
+    def test_version_one_manifest_still_validates(self, tmp_path):
+        # An archived v1 manifest: no overrides, no shards block.
+        obj = make_manifest().to_dict()
+        obj["version"] = 1
+        del obj["shards"]
+        validate_manifest(obj)
+        path = tmp_path / "old.manifest.json"
+        path.write_text(json.dumps(obj))
+        loaded = load_manifest(path)
+        assert loaded.label == "fig1"
+        assert loaded.shards is None
+
+    def test_shards_block_round_trips(self, tmp_path):
+        shards = {"count": 2, "chunk": 1, "grid_fingerprint": "f" * 64,
+                  "digests": ["a" * 64, "b" * 64], "workers": ["w-1"]}
+        path = write_manifest(make_manifest(shards=shards), tmp_path)
+        assert load_manifest(path).shards == shards
+
+
+class TestParamsIntersection:
+    """``params`` records only kwargs every task agrees on (satellite:
+    the old field copied ``tasks[0].kwargs`` wholesale, misreporting
+    heterogeneous grids)."""
+
+    def grid(self):
+        return [
+            SweepTask(
+                fn=_square,
+                kwargs={"x": x, "seed": 7},  # x varies, seed is common
+                key=("het", x),
+            )
+            for x in range(3)
+        ]
+
+    def test_split_common_params(self):
+        common, overrides = split_common_params(self.grid())
+        assert common == {"seed": 7}
+        assert overrides == [{"x": 0}, {"x": 1}, {"x": 2}]
+
+    def test_homogeneous_grid_keeps_old_params_shape(self):
+        tasks = [
+            SweepTask(fn=_square, kwargs={"x": 5, "seed": 1}, key=("h", i))
+            for i in range(2)
+        ]
+        common, overrides = split_common_params(tasks)
+        assert common == {"x": 5, "seed": 1}
+        assert overrides == [{}, {}]
+
+    def test_manifest_records_intersection_and_overrides(self, tmp_path):
+        with manifest_sink(str(tmp_path)):
+            run_tasks(self.grid(), jobs=1, label="het_sweep")
+        manifest = load_manifest(tmp_path / "het_sweep.manifest.json")
+        assert manifest.params == {"seed": 7}
+        assert [t["overrides"] for t in manifest.tasks] == [
+            {"x": 0}, {"x": 1}, {"x": 2},
+        ]
+        validate_manifest(manifest.to_dict())  # overrides stay schema-valid
+
+
+def make_fragment(**overrides):
+    base = dict(
+        label="q",
+        shard_index=0,
+        shard_digest="d" * 64,
+        worker="w-1",
+        wall_s=0.5,
+        tasks=[{"index": 0, "key": ["q", 0], "seed": 3,
+                "fingerprint": "abc", "result": 9}],
+        counters={"demo/cells": 1},
+        trace_counts={"sweep/task_done": 1},
+        failures=[],
+    )
+    base.update(overrides)
+    return build_fragment(**base)
+
+
+class TestFragments:
+    def test_round_trip(self, tmp_path):
+        fragment = make_fragment()
+        path = write_fragment(fragment, tmp_path / "frag.json")
+        loaded = load_fragment(path)
+        assert loaded == fragment
+        assert loaded["schema"] == FRAGMENT_SCHEMA
+        assert loaded["version"] == FRAGMENT_SCHEMA_VERSION
+
+    def test_foreign_schema_rejected(self):
+        fragment = make_fragment()
+        fragment["schema"] = "something.else"
+        with pytest.raises(ManifestError, match="not a repro.manifest.fragment"):
+            validate_fragment(fragment)
+
+    def test_version_mismatch_rejected(self):
+        fragment = make_fragment()
+        fragment["version"] = 99
+        with pytest.raises(ManifestError, match="version"):
+            validate_fragment(fragment)
+
+    def test_missing_field_rejected(self):
+        fragment = make_fragment()
+        del fragment["counters"]
+        with pytest.raises(ManifestError, match="counters"):
+            validate_fragment(fragment)
+
+    def test_shard_block_needs_index_and_digest(self):
+        fragment = make_fragment()
+        del fragment["shard"]["digest"]
+        with pytest.raises(ManifestError, match="index/digest"):
+            validate_fragment(fragment)
+
+    def test_task_row_needs_global_index(self):
+        fragment = make_fragment(
+            tasks=[{"key": ["q", 0], "fingerprint": "abc"}]
+        )
+        with pytest.raises(ManifestError, match="index/fingerprint"):
+            validate_fragment(fragment)
+
+    def test_write_refuses_invalid_fragment(self, tmp_path):
+        fragment = make_fragment()
+        del fragment["worker"]
+        with pytest.raises(ManifestError):
+            write_fragment(fragment, tmp_path / "frag.json")
+        assert not (tmp_path / "frag.json").exists()
+
+    def test_unreadable_fragment_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(ManifestError, match="unreadable"):
+            load_fragment(path)
+
+    def test_merge_fragment_counters_sums_deltas(self):
+        fragments = [
+            make_fragment(counters={"a": 2, "b": 1}),
+            make_fragment(shard_index=1, counters={"a": 3}),
+            make_fragment(shard_index=2, counters={}),
+        ]
+        assert merge_fragment_counters(fragments) == {"a": 5, "b": 1}

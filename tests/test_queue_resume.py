@@ -1,0 +1,112 @@
+"""Resume semantics under a real worker crash (SIGKILL).
+
+The acceptance contract for the sweep service: kill a worker with
+SIGKILL after it finished its shard's work but *before* it recorded the
+fragment (the most adversarial instant — lease still held, nothing on
+disk), then ``resume`` and assert the merged manifest's deterministic
+fields and the per-node radio counters are bit-identical to an
+uninterrupted serial run of the same grid.
+"""
+
+import os
+import signal
+import subprocess
+
+import pytest
+
+import repro.obs.counters as counters_mod
+import repro.sim.trace as trace_mod
+from repro.experiments.parallel import run_tasks
+from repro.experiments.queue import (
+    LEASES_DIR,
+    _comparable,
+    _worker_argv,
+    _worker_env,
+    fig8_grid,
+    queue_results,
+    resume,
+    shard_done,
+    shard_tasks,
+)
+from repro.obs.counters import CounterRegistry
+from repro.obs.manifest import load_manifest, manifest_sink, validate_manifest
+from repro.sim.trace import TraceRecorder
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def fresh_globals(monkeypatch):
+    monkeypatch.setattr(trace_mod, "_global_recorder", TraceRecorder())
+    monkeypatch.setattr(counters_mod, "_global_registry", CounterRegistry())
+
+
+GRID = dict(
+    positions_m=(12.5, 27.5), mac_kinds=("dcf", "comap"),
+    repeats=1, seed=0, duration_s=0.02,
+)
+
+
+class TestCrashResume:
+    def test_sigkilled_worker_resume_is_bit_identical(self, tmp_path, fresh_globals):
+        tasks = fig8_grid(**GRID)
+
+        # Uninterrupted serial baseline of the identical grid.
+        baseline_dir = str(tmp_path / "baseline")
+        with manifest_sink(baseline_dir):
+            baseline_results = run_tasks(
+                tasks, jobs=1, label="crash", on_error="record"
+            )
+        baseline = load_manifest(
+            os.path.join(baseline_dir, "crash.manifest.json")
+        )
+
+        # Shard one task per shard, then let a worker *process* complete
+        # one shard and SIGKILL itself mid-way through its second.
+        qdir = str(tmp_path / "queue")
+        spec = shard_tasks(tasks, qdir, chunk=1, label="crash")
+        victim = subprocess.run(
+            _worker_argv(
+                qdir, "--kill-after-shards", "1", "--lease-ttl-s", "0.2",
+            ),
+            env=_worker_env(), capture_output=True, text=True, timeout=300,
+        )
+        assert victim.returncode == -signal.SIGKILL, victim.stderr
+
+        # Crash forensics: exactly one fragment landed, and the crashed
+        # shard's lease is still on disk (nobody released it).
+        done = [shard_done(spec, shard) for shard in spec.shards]
+        assert sum(done) == 1
+        held = [
+            name
+            for name in os.listdir(os.path.join(qdir, LEASES_DIR))
+            if name.endswith(".lease")
+        ]
+        assert len(held) == 1
+
+        # Resume outwaits the orphaned lease's TTL, re-runs the missing
+        # shards bit-identically, and merges.
+        merged = load_manifest(resume(qdir, lease_ttl_s=0.2))
+        validate_manifest(merged.to_dict())
+        assert _comparable(merged) == _comparable(baseline)
+
+        # Per-node radio counters survive the crash/resume unchanged.
+        per_node = {
+            key: value
+            for key, value in merged.counters.items()
+            if key.startswith("node/")
+        }
+        assert per_node
+        assert per_node == {
+            key: value
+            for key, value in baseline.counters.items()
+            if key.startswith("node/")
+        }
+
+        # The results read back from fragments equal the serial run's.
+        assert queue_results(qdir) == baseline_results
+
+        # Bookkeeping: merge records the grid split and both workers.
+        assert merged.shards["count"] == len(spec.shards)
+        assert merged.shards["grid_fingerprint"] == spec.grid_fingerprint
+        assert len(merged.shards["workers"]) == 2

@@ -14,6 +14,9 @@ matter:
 
 import json
 import os
+import tempfile
+import threading
+import time
 
 import pytest
 
@@ -227,16 +230,97 @@ raise SystemExit("unreachable: the put above must have killed us")
         cache = ResultCache(root)
         hit, _ = cache.get(digest)
         assert not hit
-        # The only debris is the orphaned temp file...
+        # The only debris is the orphaned temp file.  A *fresh* .tmp
+        # could belong to a live concurrent writer, so clear() leaves
+        # it alone until it outlives the orphan-age guard...
         orphans = [name for name in names if name.endswith(".tmp")]
         assert len(orphans) == 1
-        # ...which clear() reaps without counting it as an entry.
+        assert cache.clear() == 0
+        assert os.listdir(root) == names
+        # ...after which it is reaped without counting as an entry.
+        stale = time.time() - 2 * ResultCache.ORPHAN_AGE_S
+        os.utime(os.path.join(root, orphans[0]), (stale, stale))
         assert cache.clear() == 0
         assert os.listdir(root) == []
         # And the cache still works afterwards.
         cache.put(digest, [4.0])
         hit, value = cache.get(digest)
         assert hit and value == [4.0]
+
+
+class TestClearOrphanAgeGuard:
+    """``clear()`` must never reap a live concurrent writer's temp file.
+
+    Several sweep-queue workers share one cache directory; a ``.tmp``
+    that is *currently* between ``mkstemp`` and ``os.replace`` belongs
+    to one of them.  The old ``clear()`` unlinked every ``.tmp`` it saw,
+    making the writer's rename fail and silently dropping the entry.
+    """
+
+    def test_fresh_tmp_survives_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_tasks([_task(1.0)], cache=cache)
+        fd, tmp = tempfile.mkstemp(dir=str(tmp_path), suffix=".tmp")
+        os.close(fd)
+        assert cache.clear() == 1  # the .json entry goes...
+        assert os.listdir(tmp_path) == [os.path.basename(tmp)]  # ...tmp stays
+
+    def test_stale_tmp_is_reaped(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fd, tmp = tempfile.mkstemp(dir=str(tmp_path), suffix=".tmp")
+        os.close(fd)
+        stale = time.time() - 2 * ResultCache.ORPHAN_AGE_S
+        os.utime(tmp, (stale, stale))
+        assert cache.clear() == 0
+        assert os.listdir(tmp_path) == []
+
+    def test_explicit_age_overrides_default(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fd, _ = tempfile.mkstemp(dir=str(tmp_path), suffix=".tmp")
+        os.close(fd)
+        assert cache.clear(orphan_age_s=0.0) == 0
+        assert os.listdir(tmp_path) == []
+
+    def test_concurrent_writer_mid_put_survives_clear(self, tmp_path, monkeypatch):
+        """Deterministic interleaving: clear() lands mid-``put``.
+
+        A writer thread is paused between writing its temp file and the
+        publishing ``os.replace``; ``clear()`` runs in that window.  The
+        entry must still be published and readable afterwards — before
+        the age guard, clear() deleted the temp file and the writer's
+        rename died in ``put``'s best-effort ``except OSError``, losing
+        the entry without a trace.
+        """
+        import repro.experiments.parallel as parallel
+
+        cache = ResultCache(str(tmp_path))
+        task = _task(7.0)
+        digest = task.fingerprint()
+        tmp_written = threading.Event()
+        clear_done = threading.Event()
+        real_replace = os.replace
+
+        def paused_replace(src, dst):
+            tmp_written.set()
+            assert clear_done.wait(timeout=10.0)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(parallel.os, "replace", paused_replace)
+        writer = threading.Thread(target=cache.put, args=(digest, [1.0, 2.0]))
+        writer.start()
+        try:
+            assert tmp_written.wait(timeout=10.0)
+            # The writer is mid-put: its .tmp exists but is not renamed.
+            assert any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+            cache.clear()
+            # The live temp file survived the concurrent clear().
+            assert any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+        finally:
+            clear_done.set()
+            writer.join(timeout=10.0)
+        assert not writer.is_alive()
+        hit, value = cache.get(digest)
+        assert hit and value == [1.0, 2.0]
 
 
 class TestEndToEndSweepCaching:
