@@ -469,3 +469,91 @@ def test_vector_throughput_dense(benchmark):
           f"{sca['wall_s']:.3f}s ({sca['events_per_sec']:,.0f} ev/s)")
     print(f"wall speedup: {speedup:.2f}x  -> {BENCH_JSON} (vector column)")
     assert speedup >= 1.3, f"vector speedup {speedup:.2f}x below the 1.3x floor"
+
+
+# ----------------------------------------------------------------------
+# C-SR floor column
+# ----------------------------------------------------------------------
+
+#: Simulated seconds per C-SR floor cell; enough for queues to reach
+#: their regime (DCF's to overflow, C-SR's to drain) on the 4-AP floor.
+CSR_DURATION_S = 0.2
+
+
+def _run_csr_floor_cells():
+    """One 4-AP enterprise-floor cell per MAC kind (paired seeds)."""
+    from repro.experiments.runner import _csr_floor_cell
+
+    cells = {}
+    for mac_kind in ("dcf", "comap", "csr"):
+        cells[mac_kind] = _csr_floor_cell(
+            mac_kind=mac_kind,
+            n_aps=4,
+            clients_per_ap=2,
+            backhaul_latency_ns=200_000,
+            error_radius_m=0.0,
+            topology_seed=2000,
+            seed=0,
+            duration_s=CSR_DURATION_S,
+        )
+    return cells
+
+
+def test_csr_floor_coordination(benchmark):
+    """C-SR must beat DCF on the enterprise floor, goodput AND p99.
+
+    The coordination claim of ``repro.mac.csr``: with per-cell CBR
+    load that overflows the serialized collision domain, DCF queues
+    blow up while C-SR's coordinated concurrent TXOPs drain the same
+    load — more aggregate goodput at a fraction of the tail latency.
+
+    The result is appended as a ``csr`` column to the same
+    ``BENCH_engine.json`` the cull and vector benches write
+    (read-modify-write, so test order and partial runs don't drop
+    columns).
+    """
+    cells = benchmark.pedantic(_run_csr_floor_cells, rounds=1, iterations=1)
+    dcf, csr = cells["dcf"], cells["csr"]
+
+    goodput_ratio = csr["goodput_mbps"] / dcf["goodput_mbps"]
+    column = {
+        "ap_count": 4,
+        "clients_per_ap": 2,
+        "sim_duration_s": CSR_DURATION_S,
+        "backhaul_latency_ns": 200_000,
+        "goodput_mbps": {
+            kind: round(cell["goodput_mbps"], 3)
+            for kind, cell in cells.items()
+        },
+        "p99_ms_worst": {
+            kind: round(cell["p99_ms_worst"], 2)
+            for kind, cell in cells.items()
+        },
+        "goodput_ratio_csr_vs_dcf": round(goodput_ratio, 2),
+        "txop_announced": cells["csr"].get("csr/txop_announced", 0),
+        "concurrent_granted": cells["csr"].get("csr/concurrent_granted", 0),
+        "power_capped_tx": cells["csr"].get("csr/power_capped_tx", 0),
+    }
+    try:
+        with open(BENCH_JSON, "r", encoding="utf-8") as fh:
+            result = json.load(fh)
+    except (FileNotFoundError, ValueError):
+        result = {}
+    result["csr"] = column
+    with open(BENCH_JSON, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print()
+    for kind in ("dcf", "comap", "csr"):
+        cell = cells[kind]
+        print(f"{kind:>5}: {cell['goodput_mbps']:6.2f} Mbps aggregate, "
+              f"worst-flow p99 {cell['p99_ms_worst']:6.1f} ms")
+    print(f"goodput ratio csr/dcf: {goodput_ratio:.2f}x -> "
+          f"{BENCH_JSON} (csr column)")
+    assert goodput_ratio >= 1.3, (
+        f"C-SR goodput {goodput_ratio:.2f}x DCF, below the 1.3x floor"
+    )
+    assert csr["p99_ms_worst"] < dcf["p99_ms_worst"], (
+        f"C-SR p99 {csr['p99_ms_worst']:.1f} ms not better than "
+        f"DCF {dcf['p99_ms_worst']:.1f} ms"
+    )

@@ -59,6 +59,11 @@ class ScenarioParams:
     default_payload_bytes: int = 1000
     # CO-MAP control plane.
     comap: CoMapConfig = field(default_factory=CoMapConfig)
+    #: One-way wired-backhaul latency between APs (C-SR coordination
+    #: plane, :mod:`repro.net.backhaul`).  ``None`` disables the
+    #: backhaul: a ``mac_kind="csr"`` network then runs bit-identically
+    #: to plain CO-MAP.
+    csr_backhaul_latency_ns: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "ScenarioParams":
         """A copy with selected fields replaced (scenario tweaking)."""

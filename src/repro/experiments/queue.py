@@ -27,13 +27,17 @@ Queue layout (everything under one queue directory)::
   so a shard file's name commits to exactly which work it contains.
   ``queue.json`` is written only after every shard file is on disk: its
   existence implies a complete queue.
-* **Leases** (:func:`try_claim_shard`): claiming is an ``O_CREAT|O_EXCL``
-  lockfile create — exactly one worker wins.  A lease records its owner
-  and TTL; an expired lease (crashed worker) is reclaimed by atomically
-  *renaming* it aside first, so of N workers that simultaneously observe
-  the same expired lease, exactly one performs the takeover.  Workers
-  re-assert their lease between tasks (heartbeat), so the TTL only needs
-  to exceed one task's wall time, not a whole shard's.
+* **Leases** (:func:`try_claim_shard`): claiming is an atomic
+  create-with-content (payload written to a temp file, hard-linked into
+  place) — exactly one worker wins, and the lease carries its owner's
+  nonce and TTL from the instant it exists.  An expired lease (crashed
+  worker) is reclaimed by atomically *renaming* it aside first, so of N
+  workers that simultaneously observe the same expired lease, exactly
+  one performs the takeover.  Workers re-assert their lease between
+  tasks (heartbeat) and re-verify ownership immediately before the
+  fragment write, so the TTL only needs to exceed one task's wall time,
+  not a whole shard's, and a reclaimed worker never records a shard it
+  lost.
 * **Fragments**: a completed shard is recorded as one atomically written
   (temp + fsync + ``os.replace``) manifest fragment carrying the shard's
   task rows, JSON results, and the *deltas* it added to the worker's
@@ -355,52 +359,97 @@ def _lease_expired(lease: Dict[str, Any], now: Optional[float] = None) -> bool:
     return now >= acquired + ttl
 
 
+def _create_lease_excl(path: str, payload: bytes) -> Optional[bool]:
+    """Create a fully-formed lease at ``path``; None means it exists.
+
+    The claim must be atomic *with its content*: the old
+    ``O_CREAT | O_EXCL``-then-write sequence left a window in which a
+    claimant SIGKILLed between create and write leaves an *empty* lease
+    — readable only through the mtime fallback (worker ``"?"``, zero
+    heartbeats) and reclaimable while the slow-starting creator still
+    believes it holds the shard.  The payload — worker nonce included —
+    is therefore written and fsynced to a private temp file first and
+    hard-linked into place: the lockfile appears fully formed or not at
+    all, and ``link`` fails with EEXIST exactly as the exclusive create
+    did.  Filesystems without hard links fall back to the exclusive
+    create-then-write (keeping the old, narrower window rather than
+    losing claiming entirely).
+    """
+    tmp = f"{path}.claim-{uuid.uuid4().hex[:8]}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        return False
+    try:
+        os.link(tmp, path)
+        return True
+    except FileExistsError:
+        return None
+    except OSError:
+        pass  # hard links unsupported here: legacy exclusive create
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return None
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True
+    except OSError:
+        return False
+
+
 def try_claim_shard(
     spec: QueueSpec, shard: ShardSpec, worker_id: str, ttl_s: float
 ) -> bool:
     """Attempt to acquire ``shard``'s lease; never blocks.
 
-    Fresh claim: ``O_CREAT | O_EXCL`` — exactly one creator wins.
-    Expired lease: the claimant first *renames* the stale lease aside
-    (two workers racing on the same expired lease issue two renames of
-    the same source; the filesystem lets exactly one succeed), then
-    retries the exclusive create.  Losing any step returns False — the
-    worker simply moves on to the next shard.
+    Fresh claim: an atomic create-with-content (see
+    :func:`_create_lease_excl`) — exactly one creator wins, and the
+    worker nonce is durably inside the lease before the claim is
+    reported held (i.e. before any shard work can begin).  Expired
+    lease: the claimant first *renames* the stale lease aside (two
+    workers racing on the same expired lease issue two renames of the
+    same source; the filesystem lets exactly one succeed), then retries
+    the create.  Losing any step returns False — the worker simply
+    moves on to the next shard.
     """
     path = lease_path(spec, shard)
     payload = _lease_payload(worker_id, ttl_s)
     for attempt in range(2):
-        try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
-        except FileExistsError:
-            if attempt:
-                return False
-            lease = read_lease(path)
-            if lease is None:
-                continue  # released between our open and read: retry
-            if not _lease_expired(lease):
-                return False
-            # Expired: atomically take the stale lease out of the way.
-            takeover = f"{path}.reclaim-{worker_id}"
-            try:
-                os.rename(path, takeover)
-            except OSError:
-                return False  # another claimant won the takeover race
-            try:
-                os.unlink(takeover)
-            except OSError:
-                pass
-            continue  # lease path is free: retry the exclusive create
-        except OSError:
+        created = _create_lease_excl(path, payload)
+        if created is not None:
+            return created
+        if attempt:
             return False
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            return True
-        except OSError:
+        lease = read_lease(path)
+        if lease is None:
+            continue  # released between our create and read: retry
+        if not _lease_expired(lease):
             return False
+        # Expired: atomically take the stale lease out of the way.
+        takeover = f"{path}.reclaim-{worker_id}"
+        try:
+            os.rename(path, takeover)
+        except OSError:
+            return False  # another claimant won the takeover race
+        try:
+            os.unlink(takeover)
+        except OSError:
+            pass
+        # Lease path is free: retry the create.
     return False
 
 
@@ -411,9 +460,9 @@ def refresh_shard_lease(
 
     A worker that stalls past its TTL can be legitimately reclaimed; on
     resume it must notice and abandon the shard rather than fight the
-    new owner.  (If both still complete it, the fragment write is
-    atomic and deterministic, so last-writer-wins is benign — this
-    check just stops the loser from wasting further work.)
+    new owner.  :func:`work` calls this between tasks *and* immediately
+    before the fragment write, so a reclaimed worker never records a
+    shard it no longer owns.
     """
     path = lease_path(spec, shard)
     lease = read_lease(path)
@@ -573,6 +622,12 @@ def work(
                     continue  # lease lost mid-shard: the new owner redoes it
                 if kill_after_shards is not None and done_count >= kill_after_shards:
                     os.kill(os.getpid(), signal.SIGKILL)
+                if not refresh_shard_lease(spec, shard, worker_id, lease_ttl_s):
+                    # Reclaimed after our last heartbeat (e.g. we stalled
+                    # past the TTL): the new owner re-runs the shard and
+                    # records it; recording it ourselves would race their
+                    # in-progress claim with a write they don't expect.
+                    continue
                 obs_manifest.write_fragment(fragment, fragment_path(spec, shard))
                 done_count += 1
                 progressed = True
@@ -805,6 +860,17 @@ def demo_cell(x: float, seed: int) -> Dict[str, Any]:
     """Cheap deterministic cell for queue demos and fast tests."""
     global_registry().counter("demo/cells").inc()
     return {"x": x, "seed": seed, "y": x * x + seed}
+
+
+def slow_cell(x: float, seconds: float) -> Dict[str, Any]:
+    """:func:`demo_cell` with a wall-clock stall.
+
+    Test surface for the lease-expiry races: a worker running this task
+    with a TTL shorter than ``seconds`` is guaranteed to be reclaimable
+    mid-task (it cannot heartbeat from inside the stall).
+    """
+    time.sleep(seconds)
+    return {"x": x, "seconds": seconds}
 
 
 def demo_grid(n: int = 8, seed: int = 0) -> List[SweepTask]:

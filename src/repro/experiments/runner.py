@@ -42,8 +42,9 @@ from repro.analytical.bianchi import BianchiSlotModel
 from repro.analytical.ht_model import HtGoodputModel
 from repro.experiments.metrics import average_link_goodput_mbps
 from repro.experiments.parallel import ResultCache, SweepTask, derive_seed, run_tasks
-from repro.experiments.params import ScenarioParams, ht_params
+from repro.experiments.params import ScenarioParams, ht_params, ns2_params
 from repro.experiments.topologies import (
+    enterprise_floor_topology,
     exposed_terminal_topology,
     fig9_configurations,
     hidden_terminal_topology,
@@ -53,7 +54,7 @@ from repro.experiments.topologies import (
     office_floor_topology,
     rival_et_topology,
 )
-from repro.net.localization import PositionErrorModel
+from repro.net.localization import PositionErrorModel, UniformDiskError
 
 
 @dataclass(frozen=True)
@@ -176,6 +177,63 @@ def _rival_et_goodput(
     return results.goodput_mbps(e1.node_id, ap1.node_id) + results.goodput_mbps(
         e2.node_id, ap1.node_id
     )
+
+
+def _csr_floor_cell(
+    mac_kind: str,
+    n_aps: int,
+    clients_per_ap: int,
+    backhaul_latency_ns: Optional[int],
+    error_radius_m: float,
+    topology_seed: int,
+    seed: int,
+    duration_s: float,
+) -> Dict[str, float]:
+    """One enterprise-floor simulation: goodput + latency percentiles.
+
+    Returns plain scalars only — p99 comes from the in-process bucketed
+    latency histograms (bucket counts never leave the process; see
+    :class:`repro.obs.counters.Histogram`).
+    """
+    params = ns2_params()
+    if mac_kind == "csr" and backhaul_latency_ns is not None:
+        params = params.with_overrides(csr_backhaul_latency_ns=int(backhaul_latency_ns))
+    error_model = UniformDiskError(error_radius_m) if error_radius_m > 0 else None
+    scenario = enterprise_floor_topology(
+        mac_kind,
+        topology_seed=topology_seed,
+        seed=seed,
+        params=params,
+        error_model=error_model,
+        n_aps=n_aps,
+        clients_per_ap=clients_per_ap,
+    )
+    net = scenario.network
+    results = net.run(duration_s)
+    p99s: List[float] = []
+    for src, dst in scenario.extra["flows"]:
+        hist = net.registry.get(f"latency/{src}->{dst}")
+        if hist is not None and hist.count:
+            p99s.append(hist.quantile(0.99))
+    counters = net.counters()
+    cell: Dict[str, float] = {
+        "goodput_mbps": results.aggregate_goodput_bps / 1e6,
+        # Worst per-flow p99 (ms): the flow the coordination hurt most.
+        "p99_ms_worst": max(p99s) / 1e6 if p99s else float("inf"),
+        "p99_ms_mean": sum(p99s) / len(p99s) / 1e6 if p99s else float("inf"),
+        "flows_with_deliveries": float(len(p99s)),
+    }
+    for key in (
+        "csr/txop_announced",
+        "csr/coordination_rounds",
+        "csr/concurrent_granted",
+        "csr/concurrent_denied",
+        "csr/power_capped_tx",
+        "csr/backhaul_messages",
+    ):
+        if key in counters:
+            cell[key] = float(counters[key])
+    return cell
 
 
 # ----------------------------------------------------------------------
@@ -481,3 +539,70 @@ def run_rival_et(
         label: sum(next(results) for _ in seeds) / len(seeds)
         for label, _, _ in configs
     }
+
+
+def run_csr_floor(
+    mac_kinds: Sequence[str] = ("dcf", "comap", "csr"),
+    ap_counts: Sequence[int] = (2, 4),
+    backhaul_latencies_ns: Sequence[Optional[int]] = (200_000,),
+    error_radii_m: Sequence[float] = (0.0,),
+    clients_per_ap: int = 2,
+    n_topologies: int = 3,
+    duration_s: float = 0.25,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Dict[str, object]]:
+    """The C-SR enterprise-floor study: DCF vs CO-MAP vs C-SR.
+
+    Sweeps AP count, backhaul latency, and localization-error radius
+    over ``n_topologies`` client placements.  The compared MAC kinds
+    share each cell's channel seed (paired comparison); the backhaul
+    latency only reaches the "csr" variant — the other kinds have no
+    coordination plane, so their cells are latency-independent and the
+    sweep reuses one seed per (ap_count, radius, topology) coordinate.
+
+    Returns one flat row dict per simulation: the sweep coordinates plus
+    the :func:`_csr_floor_cell` metrics (aggregate goodput, per-flow p99
+    latency, coordination counters).
+    """
+    grid = [
+        (n_aps, latency, ri, radius, topo)
+        for n_aps in ap_counts
+        for latency in backhaul_latencies_ns
+        for ri, radius in enumerate(error_radii_m)
+        for topo in range(n_topologies)
+    ]
+    tasks = [
+        SweepTask(
+            fn=_csr_floor_cell,
+            kwargs=dict(
+                mac_kind=mac_kind,
+                n_aps=int(n_aps),
+                clients_per_ap=clients_per_ap,
+                backhaul_latency_ns=latency,
+                error_radius_m=float(radius),
+                topology_seed=2000 + topo,
+                seed=derive_seed(seed, "csr_floor", n_aps, ri, topo),
+                duration_s=duration_s,
+            ),
+            key=("csr_floor", int(n_aps), latency, float(radius), topo, mac_kind),
+        )
+        for n_aps, latency, ri, radius, topo in grid
+        for mac_kind in mac_kinds
+    ]
+    results = iter(run_tasks(tasks, jobs=jobs, cache=cache, label="csr_floor"))
+    rows: List[Dict[str, object]] = []
+    for n_aps, latency, _ri, radius, topo in grid:
+        for mac_kind in mac_kinds:
+            cell = next(results)
+            row: Dict[str, object] = {
+                "mac": mac_kind,
+                "ap_count": int(n_aps),
+                "backhaul_latency_ns": latency,
+                "error_radius_m": float(radius),
+                "topology": topo,
+            }
+            row.update(cell)
+            rows.append(row)
+    return rows

@@ -410,6 +410,76 @@ def office_floor_topology(
     )
 
 
+# ----------------------------------------------------------------------
+# C-SR — enterprise floor with overlapping co-channel cells
+# ----------------------------------------------------------------------
+def enterprise_floor_topology(
+    mac_kind: str,
+    topology_seed: int,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+    error_model: Optional[PositionErrorModel] = None,
+    n_aps: int = 4,
+    clients_per_ap: int = 2,
+    cbr_bps: float = 2_000_000.0,
+) -> BuiltScenario:
+    """``n_aps`` co-channel APs on a 60 m grid, CBR downlink.
+
+    The C-SR study scenario: every AP shares one frequency band, the
+    20 dBm / ``alpha = 3.3`` NS-2 physics put all of them well inside
+    each other's ~1 km carrier-sense range, and plain DCF serializes the
+    whole floor.  Clients sit 6-10 m from their AP, so the co-occurrence
+    map validates cross-cell concurrency (predicted concurrent SIR
+    ``10 * alpha * log10(60/10) ≈ 26 dB`` against ``T_sir = 10``) — the
+    headroom coordinated spatial reuse exists to harvest.
+
+    Traffic is downlink CBR (AP -> client), putting the TXOPs on the
+    coordinating APs.  The default per-client rate is chosen so the
+    floor's *aggregate* offered load exceeds what one serialized
+    collision domain can carry while each cell's share stays within its
+    own capacity: the serialized baseline saturates (queues fill, tail
+    latency explodes) and spatial reuse drains the same load with
+    shallow queues — the regime where coordination pays in both goodput
+    and latency percentiles.  ``topology_seed`` selects client
+    placement; ``seed`` drives channel/backoff randomness.
+    """
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    params = params or ns2_params()
+    rng = np.random.default_rng(topology_seed)
+    net = Network(params, mac_kind=mac_kind, seed=seed, error_model=error_model)
+    columns = max(1, int(round(math.sqrt(n_aps))))
+    spacing = 60.0
+    aps: List[Node] = []
+    for i in range(n_aps):
+        x = (i % columns) * spacing
+        y = (i // columns) * spacing
+        aps.append(net.add_ap(f"AP{i}", x, y))
+    clients: List[Node] = []
+    for ap_index, ap in enumerate(aps):
+        for j in range(clients_per_ap):
+            radius = float(rng.uniform(6.0, 10.0))
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            client = net.add_client(
+                f"C{ap_index}-{j}",
+                ap.position.x + radius * math.cos(angle),
+                ap.position.y + radius * math.sin(angle),
+                ap=ap,
+            )
+            clients.append(client)
+    net.finalize()
+    flows: List[Tuple[int, int]] = []
+    for client in clients:
+        ap = client.associated_ap
+        net.add_cbr(ap, client, cbr_bps)
+        flows.append((ap.node_id, client.node_id))
+    return BuiltScenario(
+        network=net,
+        tagged_flow=flows[0],
+        extra={"clients": clients, "aps": aps, "flows": flows},
+    )
+
+
 def full_floor_topology(
     mac_kind: str,
     topology_seed: int,

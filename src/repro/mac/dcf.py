@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.mac.frames import BROADCAST, Frame, FrameType
+from repro.obs.counters import SEP
 from repro.mac.rate_control import FixedRate, RatePolicy
 from repro.mac.timing import PhyTiming
 from repro.phy.radio import Radio
@@ -41,6 +42,14 @@ from repro.sim.trace import TraceRecorder
 from repro.util.rng import RngStreams
 
 FlowId = Tuple[int, int]
+
+#: Bucket bounds (ns) for per-flow MAC latency histograms: 250 µs to 5 s
+#: covers one clean exchange up to deep-queue saturation delays.
+LATENCY_BUCKETS_NS = (
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    25_000_000, 50_000_000, 100_000_000, 250_000_000, 500_000_000,
+    1_000_000_000, 2_500_000_000, 5_000_000_000,
+)
 
 
 @dataclass
@@ -197,6 +206,10 @@ class DcfMac:
         self._tx_seq = itertools.count(0)
         self._seq_by_flow: Dict[FlowId, itertools.count] = {}
         self._rx_seen: Dict[FlowId, Set[int]] = {}
+        # Per-flow enqueue-to-delivery latency histograms, created lazily
+        # in the registry handed to register_counters (None until then).
+        self._registry = None
+        self._latency_hists: Dict[FlowId, object] = {}
         #: Upper-layer delivery callback: fn(frame) on unique reception.
         self.on_deliver: Optional[Callable[[Frame], None]] = None
         #: Called whenever a queue slot frees up (sources use it to refill).
@@ -210,6 +223,7 @@ class DcfMac:
         snapshot time.  Same-prefix sources from every node are summed,
         giving network-wide totals.
         """
+        self._registry = registry
         registry.register_source("mac", self.stats.as_counter_dict)
 
     # ------------------------------------------------------------------
@@ -509,6 +523,10 @@ class DcfMac:
         )
         if head.app_meta is not None:
             frame.meta["app"] = head.app_meta
+        # Enqueue timestamp for the receiver-side latency histogram; meta
+        # never affects physics, and the Mpdu's stamp survives retries so
+        # the measured latency includes queueing and retransmissions.
+        frame.meta["enq"] = head.enqueued_at
         return frame
 
     def _send_next_in_train(self) -> None:
@@ -600,10 +618,33 @@ class DcfMac:
         else:
             seen.add(frame.seq)
             self.stats.record_delivery(flow, frame.payload_bytes)
+            self._observe_latency(flow, frame)
             if self.on_deliver is not None:
                 self.on_deliver(frame)
         ack = self._build_ack(frame)
         self.sim.schedule(self.timing.sifs_ns, self._send_ack, ack)
+
+    def _observe_latency(self, flow: FlowId, frame: Frame) -> None:
+        """Record enqueue-to-delivery latency for a unique reception.
+
+        Deterministic sim-time arithmetic on the sender's meta stamp —
+        no RNG, no scheduling — so enabling the histograms can never
+        perturb the physics.  Quantiles (the C-SR studies' p99) are
+        in-process queries on the bucketed histogram.
+        """
+        if self._registry is None:
+            return
+        enqueued_at = frame.meta.get("enq")
+        if enqueued_at is None:
+            return
+        hist = self._latency_hists.get(flow)
+        if hist is None:
+            hist = self._registry.histogram(
+                f"latency{SEP}{flow[0]}->{flow[1]}",
+                buckets=LATENCY_BUCKETS_NS,
+            )
+            self._latency_hists[flow] = hist
+        hist.observe(self.sim.now - enqueued_at)
 
     def _build_ack(self, data_frame: Frame) -> Frame:
         """Template method: construct the ACK for a received data frame."""

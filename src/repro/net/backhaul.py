@@ -1,0 +1,162 @@
+"""Modeled wired backhaul connecting co-located APs (the C-SR control plane).
+
+Enterprise deployments wire their APs to a common switch, and the
+coordinated spatial-reuse MAC (:mod:`repro.mac.csr`) rides on exactly
+that: a zero-loss message bus with a configurable one-way latency,
+driven by the simulation's event engine.  Every ``publish`` schedules
+one delivery event per *other* attached endpoint — with fewer than two
+endpoints nothing is scheduled at all, so a single-AP C-SR network
+fires bit-identically (including ``sim/events_fired``) to plain CO-MAP.
+
+The backhaul also owns the **shared TXOP ledger** — the switch-side
+view of which transmit opportunities are currently active.  Wire
+latency delays *notification* of peers, but the ledger itself is the
+authoritative shared state the coordination protocol reads and writes:
+two APs electing concurrent transmissions in the same instant must see
+each other's registrations, which delayed point-to-point messages alone
+cannot provide.
+
+Counters live under the ``csr/`` namespace of the network registry:
+``csr/backhaul_messages`` (publishes that reached at least one peer),
+``csr/backhaul_deliveries`` and the ``csr/backhaul_latency_ns``
+histogram (one observation per delivery).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+#: A message handler: ``fn(src_id, kind, payload)``.
+BackhaulHandler = Callable[[int, str, dict], None]
+
+#: Bucket bounds (ns) for the backhaul latency histogram: cover the
+#: sub-microsecond to multi-millisecond range typical of switched wire.
+_LATENCY_BUCKETS_NS = (
+    1_000, 10_000, 50_000, 100_000, 500_000,
+    1_000_000, 5_000_000, 10_000_000,
+)
+
+
+class TxopRecord:
+    """One active transmit opportunity in the shared ledger."""
+
+    __slots__ = ("owner", "src", "dst", "tx_power_dbm", "expires_at")
+
+    def __init__(
+        self, owner: int, src: int, dst: int, tx_power_dbm: float, expires_at: int
+    ) -> None:
+        self.owner = owner
+        self.src = src
+        self.dst = dst
+        self.tx_power_dbm = tx_power_dbm
+        self.expires_at = expires_at
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TxopRecord {self.src}->{self.dst} "
+            f"@{self.tx_power_dbm}dBm until={self.expires_at}>"
+        )
+
+
+class Backhaul:
+    """Zero-loss, fixed-latency message bus between attached endpoints."""
+
+    def __init__(
+        self, sim: Simulator, latency_ns: int, registry=None
+    ) -> None:
+        if latency_ns < 0:
+            raise ValueError("backhaul latency cannot be negative")
+        self.sim = sim
+        self.latency_ns = int(latency_ns)
+        #: Attach-order endpoint map (AP id -> handler).  Iteration order
+        #: is attachment order, which callers keep deterministic.
+        self._endpoints: Dict[int, BackhaulHandler] = {}
+        self._ledger: Dict[int, TxopRecord] = {}
+        if registry is not None:
+            self._messages = registry.counter("csr/backhaul_messages")
+            self._deliveries = registry.counter("csr/backhaul_deliveries")
+            self._latency_hist = registry.histogram(
+                "csr/backhaul_latency_ns", buckets=_LATENCY_BUCKETS_NS
+            )
+        else:
+            self._messages = None
+            self._deliveries = None
+            self._latency_hist = None
+
+    # ------------------------------------------------------------------
+    # Message bus
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, handler: BackhaulHandler) -> None:
+        """Wire ``node_id`` to the bus.  Attach in deterministic order."""
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already attached to backhaul")
+        self._endpoints[node_id] = handler
+
+    def detach(self, node_id: int) -> None:
+        """Take an endpoint off the bus (churn); drops its ledger entry."""
+        self._endpoints.pop(node_id, None)
+        self._ledger.pop(node_id, None)
+
+    @property
+    def endpoint_count(self) -> int:
+        return len(self._endpoints)
+
+    def publish(self, src_id: int, kind: str, payload: dict) -> int:
+        """Deliver ``(kind, payload)`` to every *other* endpoint.
+
+        Returns the number of deliveries scheduled.  With fewer than two
+        endpoints this is 0 and **no event is scheduled** — the lonely
+        AP's run stays bit-identical to one without a backhaul.
+        """
+        peers = [nid for nid in self._endpoints if nid != src_id]
+        if not peers:
+            return 0
+        if self._messages is not None:
+            self._messages.inc()
+        for nid in peers:
+            self.sim.schedule(
+                self.latency_ns, self._deliver, self._endpoints[nid],
+                src_id, kind, payload,
+            )
+        return len(peers)
+
+    def _deliver(
+        self, handler: BackhaulHandler, src_id: int, kind: str, payload: dict
+    ) -> None:
+        if self._deliveries is not None:
+            self._deliveries.inc()
+            self._latency_hist.observe(self.latency_ns)
+        handler(src_id, kind, payload)
+
+    # ------------------------------------------------------------------
+    # Shared TXOP ledger
+    # ------------------------------------------------------------------
+    def register_txop(self, record: TxopRecord) -> None:
+        """Record ``record`` as the owner's active transmit opportunity."""
+        self._ledger[record.owner] = record
+
+    def clear_txop(self, owner: int) -> None:
+        self._ledger.pop(owner, None)
+
+    def active_txops(self, now: int, exclude: Optional[int] = None) -> List[TxopRecord]:
+        """Live ledger entries at ``now`` (pruning expired ones)."""
+        expired = [
+            owner for owner, rec in self._ledger.items() if rec.expires_at <= now
+        ]
+        for owner in expired:
+            del self._ledger[owner]
+        return [
+            rec for owner, rec in self._ledger.items() if owner != exclude
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Backhaul endpoints={len(self._endpoints)} "
+            f"latency_ns={self.latency_ns}>"
+        )

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.adaptation import AdaptationTable
 from repro.core.protocol import CoMapAgent
 from repro.mac.comap import CoMapMac, CoMapMacConfig
+from repro.mac.csr import CsrMac, CsrMacConfig
 from repro.mac.dcf import DcfMac, MacConfig
 from repro.mac.frames import MAC_DATA_OVERHEAD_BYTES
 from repro.mac.rate_control import FixedRate, MinstrelLite
@@ -42,7 +43,11 @@ from repro.util.geometry import Point
 from repro.util.rng import RngStreams
 from repro.util.units import SECOND, s_to_ns
 
-MAC_KINDS = ("dcf", "comap", "cmap")
+MAC_KINDS = ("dcf", "comap", "cmap", "csr")
+
+#: MAC kinds that run the CO-MAP location machinery (exchange, reports,
+#: adaptation).  "csr" is CO-MAP plus the wired-backhaul coordination.
+_LOCATION_MAC_KINDS = ("comap", "csr")
 
 
 @dataclass(frozen=True)
@@ -142,13 +147,18 @@ class Network:
         self._next_id = 0
         self._finalized = False
         self._run_duration_ns = 0
+        #: The AP coordination plane of a "csr" network (see finalize()).
+        self.backhaul = None
         self._adaptation_table: Optional[AdaptationTable] = None
         self._reported_positions: Dict[int, Point] = {}
         # Mobility-driven adaptation refreshes are filtered (only MACs
         # whose neighbor tables observed the move) and coalesced (one
         # refresh pass per sim-time instant) — see _mark_adaptation_dirty.
         self._dirty_adaptation: set = set()
-        self._adaptation_drain_pending = False
+        # Handle of the scheduled zero-delay drain (None when no drain is
+        # queued).  A handle — not a bool — so an inline drain can cancel
+        # a stale queued drain instead of letting both run.
+        self._adaptation_drain_handle = None
         #: Node ids currently detached from the medium (churn faults).
         self._detached: set = set()
         #: Optional fault injector vetoing scenario-driven position
@@ -250,7 +260,7 @@ class Network:
         )
         rate_policy = self._make_rate_policy(node_id)
         agent: Optional[CoMapAgent] = None
-        if self.mac_kind == "comap":
+        if self.mac_kind in _LOCATION_MAC_KINDS:
             agent = CoMapAgent(
                 node_id=node_id,
                 propagation=self.propagation,
@@ -259,7 +269,8 @@ class Network:
                 t_cs_dbm=params.cs_threshold_dbm,
                 adaptation=self._adaptation(),
             )
-            mac = CoMapMac(
+            mac_cls = CsrMac if self.mac_kind == "csr" else CoMapMac
+            mac = mac_cls(
                 node_id,
                 self.sim,
                 radio,
@@ -317,8 +328,9 @@ class Network:
             retry_limit=params.retry_limit,
             queue_limit=params.queue_limit,
         )
-        if self.mac_kind == "comap":
-            config = CoMapMacConfig(
+        if self.mac_kind in _LOCATION_MAC_KINDS:
+            config_cls = CsrMacConfig if self.mac_kind == "csr" else CoMapMacConfig
+            config = config_cls(
                 sr_window=params.comap.sr_window,
                 announce_mode=params.comap.announce_mode,
                 **common,
@@ -362,14 +374,48 @@ class Network:
         if self._finalized:
             return
         self._finalized = True
-        if self.mac_kind != "comap":
+        if self.mac_kind not in _LOCATION_MAC_KINDS:
             return
-        error_rng = self.rngs.stream("localization")
         for node in self.nodes.values():
-            reported = self.error_model.apply(node.position, error_rng)
+            reported = self.error_model.apply(
+                node.position, self._localization_rng(node)
+            )
             self._reported_positions[node.node_id] = reported
         self._broadcast_positions()
         self._refresh_all_adaptation()
+        if self.mac_kind == "csr":
+            self._wire_backhaul()
+
+    def _wire_backhaul(self) -> None:
+        """Create the AP coordination plane of a "csr" network.
+
+        ``params.csr_backhaul_latency_ns = None`` (the default) leaves
+        the backhaul off entirely: no bus, no ledger, no scheduled
+        events — the network is then bit-identical to plain CO-MAP.
+        APs attach in node-id order so backhaul fan-out is deterministic.
+        """
+        latency = getattr(self.params, "csr_backhaul_latency_ns", None)
+        if latency is None:
+            return
+        from repro.net.backhaul import Backhaul
+
+        self.backhaul = Backhaul(self.sim, latency, registry=self.registry)
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            if node.is_ap and isinstance(node.mac, CsrMac):
+                node.mac.bind_backhaul(self.backhaul)
+
+    def _localization_rng(self, node: Node):
+        """The per-node localization-error substream.
+
+        Each node perturbs its reports from ``substream("locerr", id)``
+        rather than one shared stream, so the number of draws one node's
+        error model consumes (2 for a positive radius/sigma, 0 on the
+        certainty path) can never shift another node's realizations —
+        sweeping an error radius through 0 stays a local change.  Matches
+        the PR-5 "certainty consumes no draws" convention.
+        """
+        return self.rngs.substream("locerr", node.node_id)
 
     def _broadcast_positions(self) -> None:
         """Every agent learns the *reported* position of its band peers.
@@ -439,15 +485,31 @@ class Network:
                 self._dirty_adaptation.add(node.node_id)
         if not self._dirty_adaptation:
             return
+        self._request_adaptation_drain()
+
+    def _request_adaptation_drain(self) -> None:
+        """Run or schedule one drain for the current dirty set.
+
+        Between runs the drain executes inline (a deferred event would
+        not fire until the next ``run``); mid-run it is coalesced into a
+        single zero-delay event per instant.  An inline drain consumes
+        the whole dirty set, so it also cancels any drain still queued
+        from an interrupted run — otherwise that stale event would
+        re-refresh the same MACs at sim start.
+        """
         if not self.sim.running:
+            if self._adaptation_drain_handle is not None:
+                self._adaptation_drain_handle.cancel()
+                self._adaptation_drain_handle = None
             self._drain_adaptation_refresh()
-        elif not self._adaptation_drain_pending:
-            self._adaptation_drain_pending = True
-            self.sim.schedule(0, self._drain_adaptation_refresh)
+        elif self._adaptation_drain_handle is None:
+            self._adaptation_drain_handle = self.sim.schedule(
+                0, self._drain_adaptation_refresh
+            )
 
     def _drain_adaptation_refresh(self) -> None:
         """Refresh every MAC marked dirty since the last drain."""
-        self._adaptation_drain_pending = False
+        self._adaptation_drain_handle = None
         dirty, self._dirty_adaptation = self._dirty_adaptation, set()
         for node_id in sorted(dirty):
             node = self.nodes.get(node_id)
@@ -488,7 +550,7 @@ class Network:
         its movement is larger than a certain distance").
         """
         node.radio.move_to(position)
-        if self.mac_kind != "comap" or node.agent is None:
+        if self.mac_kind not in _LOCATION_MAC_KINDS or node.agent is None:
             return False
         if not node.agent.should_report_move(position):
             return False
@@ -496,8 +558,7 @@ class Network:
             node, self.sim.now
         ):
             return False
-        error_rng = self.rngs.stream("localization")
-        reported = self.error_model.apply(position, error_rng)
+        reported = self.error_model.apply(position, self._localization_rng(node))
         self.publish_report(node, reported)
         return True
 
@@ -530,11 +591,7 @@ class Network:
                 self._dirty_adaptation.add(observer.node_id)
                 dirty = True
         if dirty:
-            if not self.sim.running:
-                self._drain_adaptation_refresh()
-            elif not self._adaptation_drain_pending:
-                self._adaptation_drain_pending = True
-                self.sim.schedule(0, self._drain_adaptation_refresh)
+            self._request_adaptation_drain()
 
     def reattach_node(self, node: Node) -> None:
         """Bring a detached node back on the air (it re-joined).
@@ -550,9 +607,10 @@ class Network:
         node.radio.channel.attach(node.radio)
         self._detached.discard(node.node_id)
         node.mac.resume()
-        if self.mac_kind == "comap" and node.agent is not None:
-            error_rng = self.rngs.stream("localization")
-            reported = self.error_model.apply(node.position, error_rng)
+        if self.mac_kind in _LOCATION_MAC_KINDS and node.agent is not None:
+            reported = self.error_model.apply(
+                node.position, self._localization_rng(node)
+            )
             self.publish_report(node, reported)
 
     @property

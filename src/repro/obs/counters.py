@@ -25,7 +25,8 @@ parent process).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -71,18 +72,40 @@ class Gauge:
 class Histogram:
     """Streaming summary of observed samples (count/sum/min/max).
 
-    Constant memory per histogram — no buckets, no sample retention — so
-    it is safe on hot paths and trivially mergeable across processes.
+    Constant memory per histogram — no sample retention — so it is safe
+    on hot paths and trivially mergeable across processes.  An optional
+    ``buckets`` sequence of increasing upper bounds adds fixed-size
+    bucket counts (Prometheus ``le`` semantics: a sample lands in the
+    first bucket whose bound is >= the sample; larger samples land in an
+    implicit overflow bucket), enabling :meth:`quantile` — the latency
+    percentiles of the C-SR floor studies.  Snapshot flattening is
+    unchanged by buckets; quantiles are an in-process query.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "bounds", "bucket_counts")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, buckets: Optional[Iterable[Number]] = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        if buckets is None:
+            self.bounds: Optional[Tuple[float, ...]] = None
+            self.bucket_counts: Optional[List[int]] = None
+        else:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ValueError(f"histogram {name!r}: empty bucket list")
+            if any(b >= a for b, a in zip(bounds, bounds[1:])):
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds must strictly increase"
+                )
+            self.bounds = bounds
+            self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow
 
     def observe(self, value: Number) -> None:
         value = float(value)
@@ -92,11 +115,39 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if self.bounds is not None:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from bucket counts.
+
+        Returns the smallest bucket bound at or below which at least a
+        ``q`` fraction of samples fell, clamped into the exact observed
+        ``[min, max]`` range (so ``quantile(1.0)`` is exactly the max
+        and coarse buckets cannot report a value no sample reached).
+        Requires buckets; 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.bounds is None:
+            raise ValueError(
+                f"histogram {self.name!r} has no buckets; quantiles need "
+                f"Histogram(name, buckets=...)"
+            )
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank and cumulative > 0:
+                return min(max(bound, self.minimum), self.maximum)
+        return self.maximum
 
     def as_dict(self) -> Dict[str, Number]:
         """Flattened scalar view used by snapshots."""
@@ -141,9 +192,42 @@ class CounterRegistry:
         """Get-or-create the :class:`Gauge` called ``name``."""
         return self._get_or_create(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        """Get-or-create the :class:`Histogram` called ``name``."""
-        return self._get_or_create(name, Histogram)
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[Number]] = None
+    ) -> Histogram:
+        """Get-or-create the :class:`Histogram` called ``name``.
+
+        ``buckets`` (optional increasing upper bounds) takes effect only
+        at creation; a later get with different buckets is an error, so
+        two call sites cannot silently disagree on a histogram's shape.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not Histogram"
+            )
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if metric.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} already created with buckets "
+                    f"{metric.bounds}, not {bounds}"
+                )
+        return metric
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        """The owned metric called ``name``, or None when absent.
+
+        Read-only lookup for in-process queries (e.g. histogram
+        quantiles) that must not create an empty metric as a side
+        effect the way the get-or-create accessors would.
+        """
+        return self._metrics.get(name)
 
     # -- pull sources --------------------------------------------------
     def register_source(self, prefix: str, fn: SourceFn) -> None:

@@ -402,6 +402,24 @@ class Channel:
         if self._vector_backend is not None:
             self._vector_backend.on_radio_moved(radio_id)
 
+    def on_radio_power_changed(self, radio_id: int) -> None:
+        """Invalidate everything tx-power-dependent for ``radio_id``.
+
+        Called by :meth:`repro.phy.radio.Radio.set_tx_power_dbm` (the
+        C-SR coordinated power capping).  Narrower than
+        :meth:`on_radio_moved`: mean powers and composed per-link powers
+        encode the old transmit power, but ``per_link`` shadowing draws
+        are a property of the *link*, not the power, and must survive —
+        redrawing them would silently change physics with the RNG.
+        The vector backend's row/plan invalidation is position/power
+        agnostic (it refills from current config without consuming
+        draws), so it is shared with the moved path.
+        """
+        self._mean_rx_cache.invalidate(radio_id)
+        self._link_rx_mw.invalidate(radio_id)
+        if self._vector_backend is not None:
+            self._vector_backend.on_radio_moved(radio_id)
+
     @property
     def active_transmissions(self) -> List[Transmission]:
         """Transmissions currently in the air."""

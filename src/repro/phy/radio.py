@@ -165,6 +165,21 @@ class Radio:
         self.position = position
         self.channel.on_radio_moved(self.radio_id)
 
+    def set_tx_power_dbm(self, dbm: float) -> None:
+        """Change this radio's transmit power (C-SR power capping).
+
+        Each radio owns its :class:`RadioConfig` instance, so the
+        mutation is node-local.  Cached channel state that encodes the
+        old power (mean rx powers, composed per-link powers, vector
+        rows) is invalidated; per-link shadowing draws are untouched.
+        No-op at the current power, so repeated caps/restores to the
+        same value cost nothing.
+        """
+        if dbm == self.config.tx_power_dbm:
+            return
+        self.config.tx_power_dbm = dbm
+        self.channel.on_radio_power_changed(self.radio_id)
+
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------

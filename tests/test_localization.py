@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.experiments.params import ns2_params
 from repro.net.localization import GaussianError, NoError, UniformDiskError
+from repro.net.network import Network
 from repro.util.geometry import Point
 
 
@@ -78,3 +80,51 @@ class TestGaussianError:
         xs = [model.apply(origin, rng).x for _ in range(4000)]
         assert np.std(xs) == pytest.approx(2.0, abs=0.15)
         assert np.mean(xs) == pytest.approx(0.0, abs=0.15)
+
+
+def _two_client_net(error_model, seed=3):
+    params = ns2_params()
+    params.comap.position_update_threshold_m = 1.0
+    net = Network(params, mac_kind="comap", seed=seed, error_model=error_model)
+    ap = net.add_ap("AP", 0, 0)
+    c1 = net.add_client("C1", 10, 0, ap=ap)
+    c2 = net.add_client("C2", -10, 0, ap=ap)
+    net.finalize()
+    return net, ap, c1, c2
+
+
+class TestPerNodeErrorStreams:
+    """The draw-count contract: localization draws are per node.
+
+    ``UniformDiskError.apply``/``GaussianError.apply`` consume 2 RNG
+    draws when the radius/sigma is positive but 0 on the certainty path,
+    so on a shared stream sweeping the error through 0 would shift every
+    other consumer's realizations.  Each node therefore perturbs its
+    reports from its own ``substream("locerr", node_id)``.
+    """
+
+    @pytest.mark.parametrize(
+        "certain", [UniformDiskError(0.0), GaussianError(0.0)]
+    )
+    def test_certainty_is_bit_identical_to_no_error(self, certain):
+        reference, _, r1, _ = _two_client_net(NoError())
+        zeroed, _, z1, _ = _two_client_net(certain)
+        for net, c in ((reference, r1), (zeroed, z1)):
+            net.add_saturated(c, c.associated_ap)
+            net.run(0.05)
+        assert reference._reported_positions == zeroed._reported_positions
+        assert reference.counters() == zeroed.counters()
+
+    def test_one_nodes_draws_never_shift_anothers(self):
+        # An extra report by C1 in one network must not change what C2's
+        # next report draws — with a shared stream it would consume two
+        # draws out from under C2.
+        net_a, _, a1, a2 = _two_client_net(UniformDiskError(10.0))
+        net_b, _, _, b2 = _two_client_net(UniformDiskError(10.0))
+        assert net_a.update_node_position(a1, Point(30, 0))
+        assert net_a.update_node_position(a2, Point(-30, 0))
+        assert net_b.update_node_position(b2, Point(-30, 0))
+        assert (
+            net_a._reported_positions[a2.node_id]
+            == net_b._reported_positions[b2.node_id]
+        )

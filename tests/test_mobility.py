@@ -140,3 +140,29 @@ class TestAdaptationRefreshScope:
         assert net.update_node_position(c, Point(30, 0))
         after = _refresh_counts(net)
         assert all(after[name] == before[name] + 1 for name in after)
+
+    def test_prestart_report_drains_once_and_cancels_stale_drain(self):
+        # A mid-run report coalesces its refresh into a zero-delay drain.
+        # If the run stops before that drain fires (max_events), a report
+        # arriving between runs drains inline — it must consume the dirty
+        # set exactly once AND cancel the stale queued drain, or the same
+        # MACs get a second (phantom) refresh pass at sim start.
+        net, ap, c = make_net(threshold_m=5.0)
+        net.sim.schedule(1_000, net.update_node_position, c, Point(30, 0))
+        net.sim.run(max_events=1)  # report fired; its drain is still queued
+        before = _refresh_counts(net)
+        counters = net.counters()
+        assert counters["comap/adaptation_refreshes"] == sum(
+            _refresh_counts(net).values()
+        )
+        assert net.update_node_position(c, Point(60, 0))  # pre-start report
+        after = _refresh_counts(net)
+        # One inline pass covering both the interrupted-run report and
+        # this one — not one pass per report.
+        assert all(after[name] == before[name] + 1 for name in after)
+        # No stale drain left behind: the queue is empty, and resuming
+        # the sim fires nothing and refreshes nothing.
+        assert net.sim.pending_events == 0
+        fired = net.sim.run(until=net.sim.now + 10_000)
+        assert fired == 0
+        assert _refresh_counts(net) == after

@@ -47,6 +47,81 @@ class TestMetricPrimitives:
         assert h.as_dict() == {"count": 0, "sum": 0.0}
 
 
+class TestHistogramBuckets:
+    def test_bucket_counts_use_le_semantics(self):
+        h = Histogram("lat", buckets=(10, 20, 30))
+        for v in (5, 10, 15, 30, 31):
+            h.observe(v)
+        # le-10: {5, 10}; le-20: {15}; le-30: {30}; overflow: {31}.
+        assert h.bucket_counts == [2, 1, 1, 1]
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("lat", buckets=(1, 1, 2))
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("lat", buckets=(3, 2))
+
+    def test_quantile_walks_cumulative_counts(self):
+        h = Histogram("lat", buckets=(10, 20, 30, 40))
+        for v in (1, 2, 12, 22, 22, 22, 22, 22, 22, 38):
+            h.observe(v)
+        assert h.quantile(0.2) == 10.0
+        assert h.quantile(0.3) == 20.0
+        assert h.quantile(0.9) == 30.0
+        # quantile(1.0) is clamped down to the exact observed maximum,
+        # not the coarse bucket bound above it.
+        assert h.quantile(1.0) == 38.0
+
+    def test_quantile_clamps_into_observed_range(self):
+        h = Histogram("lat", buckets=(100,))
+        h.observe(7)
+        # Every sample sits in the le-100 bucket, but no sample reached
+        # 100: the estimate clamps to the observed min/max.
+        assert h.quantile(0.5) == 7.0
+        assert h.quantile(0.0) == 7.0
+
+    def test_quantile_overflow_bucket_reports_maximum(self):
+        h = Histogram("lat", buckets=(10,))
+        h.observe(5)
+        h.observe(500)
+        assert h.quantile(1.0) == 500.0
+
+    def test_quantile_requires_buckets_and_valid_q(self):
+        with pytest.raises(ValueError, match="no buckets"):
+            Histogram("lat").quantile(0.5)
+        h = Histogram("lat", buckets=(10,))
+        with pytest.raises(ValueError, match="fraction"):
+            h.quantile(1.5)
+        assert h.quantile(0.99) == 0.0  # empty histogram
+
+    def test_snapshot_flattening_unchanged_by_buckets(self):
+        reg = CounterRegistry()
+        h = reg.histogram("lat", buckets=(10, 20))
+        h.observe(5)
+        h.observe(15)
+        snap = reg.snapshot()
+        assert snap == {
+            "lat/count": 2, "lat/sum": 20.0, "lat/min": 5.0, "lat/max": 15.0,
+        }
+
+    def test_registry_rejects_bucket_mismatch(self):
+        reg = CounterRegistry()
+        reg.histogram("lat", buckets=(10, 20))
+        assert reg.histogram("lat").bounds == (10.0, 20.0)  # get without buckets
+        assert reg.histogram("lat", buckets=(10, 20)).bounds == (10.0, 20.0)
+        with pytest.raises(ValueError, match="already created"):
+            reg.histogram("lat", buckets=(10, 30))
+
+    def test_registry_get_is_side_effect_free(self):
+        reg = CounterRegistry()
+        assert reg.get("missing") is None
+        assert len(reg) == 0
+        c = reg.counter("present")
+        assert reg.get("present") is c
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
         reg = CounterRegistry()

@@ -11,22 +11,29 @@ uninterrupted serial run of the same grid.
 import os
 import signal
 import subprocess
+import time
 
 import pytest
 
 import repro.obs.counters as counters_mod
 import repro.sim.trace as trace_mod
-from repro.experiments.parallel import run_tasks
+from repro.experiments.parallel import SweepTask, run_tasks
 from repro.experiments.queue import (
     LEASES_DIR,
     _comparable,
+    _lease_expired,
     _worker_argv,
     _worker_env,
     fig8_grid,
+    fragment_path,
+    lease_path,
     queue_results,
+    read_lease,
     resume,
     shard_done,
     shard_tasks,
+    slow_cell,
+    work,
 )
 from repro.obs.counters import CounterRegistry
 from repro.obs.manifest import load_manifest, manifest_sink, validate_manifest
@@ -110,3 +117,70 @@ class TestCrashResume:
         assert merged.shards["count"] == len(spec.shards)
         assert merged.shards["grid_fingerprint"] == spec.grid_fingerprint
         assert len(merged.shards["workers"]) == 2
+
+
+class TestLeaseRace:
+    def test_stalled_worker_loses_reclaimed_shard(self, tmp_path, fresh_globals):
+        """Two processes race one shard; the reclaiming owner records it.
+
+        A worker process claims the only shard with a tiny TTL and
+        stalls inside its only task (it cannot heartbeat mid-task).
+        From the instant its lease exists it must carry the worker's
+        nonce — a half-created lockfile would read as worker ``"?"``
+        through the mtime fallback and be reclaimable while the slow
+        starter still believes it holds the shard.  After the TTL
+        expires this process reclaims and completes the shard; the
+        stalled worker must then abandon it — exit cleanly, record
+        nothing, and leave the heir's fragment in place.
+        """
+        tasks = [
+            SweepTask(
+                fn=slow_cell,
+                kwargs={"x": 1.0, "seconds": 1.5},
+                key=("slow", 0),
+            )
+        ]
+        qdir = str(tmp_path / "queue")
+        spec = shard_tasks(tasks, qdir, chunk=1, label="race")
+        shard = spec.shards[0]
+        path = lease_path(spec, shard)
+
+        child = subprocess.Popen(
+            _worker_argv(qdir, "--lease-ttl-s", "0.3"),
+            env=_worker_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 60.0
+            lease = None
+            while time.time() < deadline:
+                lease = read_lease(path)
+                if lease is not None:
+                    break
+                time.sleep(0.005)
+            assert lease is not None, "child never claimed the shard"
+            # The claim carried its owner's identity from the start.
+            assert lease["worker"] != "?"
+            child_worker = lease["worker"]
+
+            while not _lease_expired(lease) and time.time() < deadline:
+                time.sleep(0.02)
+                lease = read_lease(path) or lease
+            completed = work(qdir, worker_id="heir", lease_ttl_s=60.0)
+            assert completed == 1
+
+            out, err = child.communicate(timeout=60)
+            assert child.returncode == 0, err
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.communicate()
+
+        # Exactly one record of the shard, written by the reclaimer.
+        from repro.obs.manifest import load_fragment
+
+        fragment = load_fragment(fragment_path(spec, shard))
+        assert fragment["worker"] == "heir"
+        assert fragment["worker"] != child_worker

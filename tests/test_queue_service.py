@@ -169,6 +169,47 @@ class TestLeaseProtocol:
         os.utime(path, (stale, stale))
         assert try_claim_shard(spec, shard, "bob", 60.0)
 
+    def test_claim_is_atomic_with_its_content(self, tmp_path):
+        # A successful claim's lease must carry the owner's nonce from
+        # the instant the file exists — never an empty lockfile readable
+        # only through the mtime fallback.  No temp artifacts survive.
+        spec = self.setup_queue(tmp_path)
+        shard = spec.shards[0]
+        assert try_claim_shard(spec, shard, "alice", 60.0)
+        lease = read_lease(lease_path(spec, shard))
+        assert lease["worker"] == "alice"
+        assert lease["ttl_s"] == 60.0
+        assert "acquired_unix" in lease
+        leases_dir = os.path.dirname(lease_path(spec, shard))
+        assert all(
+            name.endswith(".lease") for name in os.listdir(leases_dir)
+        ), os.listdir(leases_dir)
+
+    def test_fragment_write_reverifies_ownership(
+        self, tmp_path, fresh_globals, monkeypatch
+    ):
+        # A reclaim can land in the window between a worker's final
+        # heartbeat and its fragment write (the worker stalled past its
+        # TTL building the fragment).  The write must notice and abandon
+        # the shard: the new owner re-runs and records it.
+        import repro.experiments.queue as qmod
+
+        spec = shard_tasks(demo_grid(1), str(tmp_path), chunk=1, label="own")
+        shard = spec.shards[0]
+        real_run_shard = qmod._run_shard
+
+        def run_then_lose_lease(spec, shard, worker_id, ttl_s, policy):
+            fragment = real_run_shard(spec, shard, worker_id, ttl_s, policy)
+            os.unlink(lease_path(spec, shard))
+            assert try_claim_shard(spec, shard, "heir", 60.0)
+            return fragment
+
+        monkeypatch.setattr(qmod, "_run_shard", run_then_lose_lease)
+        assert work(str(tmp_path), worker_id="victim") == 0
+        assert not shard_done(spec, shard)
+        # The victim's release must not have clobbered the heir's claim.
+        assert read_lease(lease_path(spec, shard))["worker"] == "heir"
+
 
 class TestWorkAndMerge:
     def test_single_worker_drains_queue(self, tmp_path, fresh_globals):
