@@ -72,6 +72,7 @@ from repro.obs import manifest as obs_manifest
 from repro.obs.counters import diff_snapshot, global_registry
 from repro.obs.profile import maybe_profiler
 from repro.obs.trace_io import events_from_payload, events_to_payload
+from repro.phy.spatial import spatial_manifest_block
 from repro.sim.trace import configure_from_env, global_recorder
 from repro.util.rng import _canonical, derive_seed
 
@@ -642,6 +643,7 @@ def _write_sweep_manifest(
         cache_misses=cache.misses if cache is not None else 0,
         profile=profile,
         failures=failures,
+        spatial=spatial_manifest_block(),
     )
     try:
         return obs_manifest.write_manifest(manifest, directory)

@@ -46,6 +46,11 @@ class ScenarioParams:
     #: ``REPRO_VECTOR`` environment knob (default off); ``True``/``False``
     #: pin it per scenario.  See :mod:`repro.phy.vector`.
     vector_phy: Optional[bool] = None
+    #: Hash-grid spatial candidate generation.  ``None`` defers to the
+    #: ``REPRO_SPATIAL`` environment knob (default off); ``True``/``False``
+    #: pin it per scenario.  Inert unless culling is active.  See
+    #: :mod:`repro.phy.spatial`.
+    spatial_index: Optional[bool] = None
     # PHY.
     rates: RateTable = field(default_factory=lambda: OFDM_RATES)
     timing: PhyTiming = OFDM_TIMING

@@ -818,9 +818,12 @@ def fig8_cell(
             if value:
                 registry.counter(f"node/{node.name}/frames_{field_name}").inc(value)
     for name, value in sorted(net.counters().items()):
-        # Only integer-valued counters are exported: float aggregates
-        # would make the merged sum depend on addition order.
-        if value and float(value) == int(value):
+        # Only positive integer-valued counters are exported: float
+        # aggregates would make the merged sum depend on addition order,
+        # and disabled-feature gauges report ``-1.0`` sentinels (e.g.
+        # ``channel/spatial_cell_size_m``, ``channel/cull_margin_db``)
+        # that a monotone Counter must never see.
+        if value > 0 and float(value) == int(value):
             registry.counter(f"net/{name}").inc(int(value))
     return {
         "per_flow_mbps": {

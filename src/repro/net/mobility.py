@@ -22,10 +22,12 @@ from repro.util.units import s_to_ns
 class LinearMobility:
     """Moves a node along waypoints at constant speed.
 
-    The node follows the waypoint list once (no looping); reports are
-    throttled by the agent's movement threshold, so the counter
-    ``reports_sent`` lets experiments measure the location-update
-    overhead under motion.
+    The node follows the waypoint list once by default; with
+    ``loop=True`` it shuttles back and forth along the list for the
+    whole run (ping-pong, not teleport-to-start — vehicles crossing a
+    coverage corridor keep crossing it).  Reports are throttled by the
+    agent's movement threshold, so the counter ``reports_sent`` lets
+    experiments measure the location-update overhead under motion.
     """
 
     def __init__(
@@ -35,6 +37,7 @@ class LinearMobility:
         waypoints: Sequence[Tuple[float, float]],
         speed_mps: float,
         tick_s: float = 0.1,
+        loop: bool = False,
     ) -> None:
         if speed_mps <= 0:
             raise ValueError("speed must be positive")
@@ -49,6 +52,8 @@ class LinearMobility:
         self.tick_s = float(tick_s)
         self._waypoints: List[Point] = [Point(x, y) for x, y in waypoints]
         self._target_index = 0
+        self.loop = bool(loop)
+        self.laps_completed = 0
         self.reports_sent = 0
         self.distance_travelled_m = 0.0
         self.done = False
@@ -80,6 +85,11 @@ class LinearMobility:
         if reported:
             self.reports_sent += 1
         if self._target_index >= len(self._waypoints):
-            self.done = True
-            return
+            if self.loop and len(self._waypoints) > 1:
+                self._waypoints.reverse()
+                self._target_index = 1  # current position is waypoint 0 now
+                self.laps_completed += 1
+            else:
+                self.done = True
+                return
         self.network.sim.schedule(self.tick_ns, self._tick)

@@ -190,6 +190,7 @@ class Network:
                 registry=self.registry,
                 cull_margin_db=getattr(self.params, "cull_margin_db", None),
                 vector=getattr(self.params, "vector_phy", None),
+                spatial=getattr(self.params, "spatial_index", None),
             )
             self._channels[band] = channel
         return channel
@@ -374,6 +375,13 @@ class Network:
         if self._finalized:
             return
         self._finalized = True
+        for channel in self._channels.values():
+            # Eager spatial-grid build (no-op when spatial is off): the
+            # topology is complete here, so the cell-size heuristic sees
+            # the full extent, and the occupancy histogram snapshots the
+            # as-built distribution.
+            if channel.prepare_spatial() is not None:
+                channel.record_spatial_occupancy()
         if self.mac_kind not in _LOCATION_MAC_KINDS:
             return
         for node in self.nodes.values():

@@ -101,6 +101,13 @@ class RunManifest:
     #: the worker ids that produced the fragments.  ``None`` on
     #: single-``run_tasks`` manifests (schema version 2, optional).
     shards: Optional[Dict[str, Any]] = None
+    #: Spatial candidate-generation configuration at sweep completion
+    #: (``enabled`` flag plus grid cell-size and reach-radius aggregates
+    #: when any grid was built) — see
+    #: :func:`repro.phy.spatial.spatial_manifest_block`.  Optional for
+    #: the same archival-compatibility reason as ``profile``: manifests
+    #: written before the spatial index existed validate unchanged.
+    spatial: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {"schema": MANIFEST_SCHEMA, "version": MANIFEST_SCHEMA_VERSION}
@@ -257,6 +264,7 @@ def build_manifest(
     profile: Optional[Dict[str, Any]] = None,
     failures: Optional[List[Dict[str, Any]]] = None,
     shards: Optional[Dict[str, Any]] = None,
+    spatial: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` with provenance filled in."""
     return RunManifest(
@@ -275,6 +283,7 @@ def build_manifest(
         profile=profile,
         failures=failures,
         shards=shards,
+        spatial=spatial,
     )
 
 

@@ -48,6 +48,31 @@ explicitly via the ``REPRO_CULL_MARGIN_DB`` environment knob, and
 ``REPRO_CULL_MARGIN_DB=off`` restores the old exhaustive path.  Culled
 notifications are counted in the ``channel/culled_links`` counter.
 
+Spatial candidate generation (``REPRO_SPATIAL``)
+------------------------------------------------
+
+Culling skips the *work* for a below-floor receiver but still *visits*
+every attached radio per frame.  With ``REPRO_SPATIAL=1`` (or the
+``spatial`` constructor argument / ``ScenarioParams.spatial_index``) the
+channel maintains a :class:`repro.phy.spatial.SpatialIndex` over
+attached radios and sweeps only the radios inside the sender's *reach
+radius* — the provably sound cull boundary derived by
+:meth:`repro.phy.propagation.LogNormalShadowing.reach_radius_m` from
+the sender's transmit power, the weakest ``min(noise_floor, T_cs)``
+threshold ever attached to the band, and the culling margin.  Every
+radio the grid skips would have failed the cull test, and every
+candidate still runs the exact cull test, so per-node outcomes are
+bit-identical to the exhaustive sweep; only the ``channel/spatial_*``
+counters record the difference.  Candidates are re-sorted into attach
+order before delivery, preserving the notification order contract.
+Spatial mode requires an active culling margin — with
+``cull_margin_db=None`` there is no sound radius, so the knob is inert
+and the exhaustive loop runs unchanged.  The weakest threshold is never
+relaxed on detach (a stale, lower value only enlarges the radius —
+sound, and it keeps detach O(1)); per-radio configs are assumed fixed
+after attach, except transmit power, which enters per-sender radii at
+query time.
+
 Linear-domain power caches (the frame hot path)
 -----------------------------------------------
 
@@ -77,13 +102,17 @@ heap-pressure counters differ.
 
 from __future__ import annotations
 
+import math
 import os
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple, Union, ValuesView,
+)
 
 from repro.phy.propagation import LogNormalShadowing
+from repro.phy.spatial import SpatialIndex, record_grid_built, record_reach_radius
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
-from repro.util.hotpath import hotpath_enabled, vector_enabled
+from repro.util.hotpath import hotpath_enabled, spatial_enabled, vector_enabled
 from repro.util.rng import RngStreams
 from repro.util.units import db_to_ratio, dbm_to_mw
 
@@ -225,6 +254,7 @@ class Channel:
         registry=None,
         cull_margin_db: Union[float, str, None] = None,
         vector: Optional[bool] = None,
+        spatial: Optional[bool] = None,
     ) -> None:
         if shadowing_mode not in SHADOWING_MODES:
             raise ValueError(
@@ -257,9 +287,43 @@ class Channel:
         self.cull_margin_db = resolve_cull_margin_db(
             propagation.sigma_db, cull_margin_db
         )
-        self._radios: List["Radio"] = []
+        #: Attached radios, keyed by id.  Insertion order *is* attach
+        #: order — the dict doubles as the ordered radio store, so
+        #: detach is an O(1) pop that preserves the iteration order of
+        #: every remaining radio (pinned by tests/test_spatial.py).
         self._radios_by_id: Dict[int, "Radio"] = {}
+        #: Monotone per-radio attach sequence numbers: spatial candidate
+        #: sets sort by these to restore attach-order delivery.  A
+        #: re-attached radio gets a fresh (higher) number, matching its
+        #: new position at the end of the dict's insertion order.
+        self._attach_seq: Dict[int, int] = {}
+        self._next_attach_seq = 0
         self._active: List[Transmission] = []
+        #: Spatial candidate generation (``REPRO_SPATIAL``; see
+        #: repro.phy.spatial).  An explicit ``spatial`` argument wins
+        #: over the environment knob.  Requires an active culling margin
+        #: — without one there is no sound reach radius, so the knob is
+        #: inert and the exhaustive sweep runs unchanged.
+        use_spatial = spatial_enabled() if spatial is None else spatial
+        self._spatial_pending = bool(use_spatial) and self.cull_margin_db is not None
+        #: The grid itself, built lazily at the first transmission (cell
+        #: sizing needs the topology extent) or eagerly via
+        #: :meth:`prepare_spatial`.
+        self._spatial: Optional[SpatialIndex] = None
+        #: Weakest ``min(noise_floor, T_cs)`` ever attached to the band:
+        #: the threshold the reach radius must stay sound against.
+        #: Monotone non-increasing — never relaxed on detach (a stale,
+        #: lower value only enlarges radii; see the module docstring).
+        self._weakest_threshold_dbm = math.inf
+        #: Strongest attach-time transmit power (cell-size heuristic).
+        self._max_tx_power_dbm = -math.inf
+        #: Memoized reach radius per transmit power; cleared whenever
+        #: the weakest threshold tightens.
+        self._reach_memo: Dict[float, float] = {}
+        self.spatial_queries = 0
+        self.spatial_candidates = 0
+        self.spatial_skipped = 0
+        self._registry = None
         #: Snapshot of the ``REPRO_HOTPATH`` knob (see repro.util.hotpath);
         #: sampled at construction so the per-frame path branches on a
         #: plain attribute.
@@ -299,6 +363,7 @@ class Channel:
         with several bands the snapshot sums the per-band margins, so
         divide by ``len(network.channels)`` to recover the setting).
         """
+        self._registry = registry
         registry.register_source("channel", self.counters)
 
     def counters(self) -> Dict[str, float]:
@@ -309,10 +374,11 @@ class Channel:
         (``-1.0`` when culling is off).
         """
         backend = self._vector_backend
+        grid = self._spatial
         return {
             "frames_sent": self.frames_sent,
             "active_transmissions": len(self._active),
-            "radios": len(self._radios),
+            "radios": len(self._radios_by_id),
             "culled_links": self.links_culled,
             "cull_margin_db": (
                 self.cull_margin_db if self.cull_margin_db is not None else -1.0
@@ -322,6 +388,23 @@ class Channel:
             # surviving receiver evaluations those frames produced.
             "vector_batches": backend.batches if backend is not None else 0,
             "vector_links": backend.links if backend is not None else 0,
+            # Spatial-index activity (zeros when the grid is off):
+            # queries = grid lookups, candidates = radios those lookups
+            # returned (after sender exclusion), skipped = attached
+            # radios the queries never visited.  Every skipped radio is
+            # a link the cull test would have rejected, and both paths
+            # charge grid skips into ``culled_links`` *per frame*, so
+            # that counter stays identical to the exhaustive path's.
+            # The spatial_* counters themselves tick per grid query —
+            # scalar mode queries every frame, the vector backend once
+            # per cached plan build — so they are mode-dependent
+            # diagnostics (like ``vector_batches``), not
+            # equivalence-checked.
+            "spatial_queries": self.spatial_queries,
+            "spatial_candidates": self.spatial_candidates,
+            "spatial_skipped": self.spatial_skipped,
+            "spatial_cell_size_m": grid.cell_size_m if grid is not None else -1.0,
+            "spatial_cells": grid.cell_count if grid is not None else 0,
         }
 
     # ------------------------------------------------------------------
@@ -340,8 +423,19 @@ class Channel:
         """
         if radio.radio_id in self._radios_by_id:
             raise ValueError(f"duplicate radio id {radio.radio_id}")
-        self._radios.append(radio)
         self._radios_by_id[radio.radio_id] = radio
+        self._attach_seq[radio.radio_id] = self._next_attach_seq
+        self._next_attach_seq += 1
+        config = radio.config
+        threshold = min(config.noise_floor_dbm, config.cs_threshold_dbm)
+        if threshold < self._weakest_threshold_dbm:
+            self._weakest_threshold_dbm = threshold
+            self._reach_memo.clear()  # radii must cover the new weakest
+        if config.tx_power_dbm > self._max_tx_power_dbm:
+            self._max_tx_power_dbm = config.tx_power_dbm
+        if self._spatial is not None:
+            position = radio.position
+            self._spatial.add(radio.radio_id, position.x, position.y)
         if self._vector_backend is not None:
             self._vector_backend.rebuild()
         radio.on_attached()
@@ -360,7 +454,15 @@ class Channel:
         """
         if self._radios_by_id.pop(radio.radio_id, None) is None:
             raise ValueError(f"radio id {radio.radio_id} is not attached")
-        self._radios.remove(radio)
+        # O(1) departure: the ordered dict pop above removed the radio
+        # without disturbing any other radio's iteration position (the
+        # old list-based store paid an O(N) ``list.remove`` here, which
+        # churn faults hammer).  The attach-seq entry goes with it; the
+        # weakest-threshold floor is deliberately *not* recomputed (see
+        # the class docstring — a stale, lower floor is still sound).
+        del self._attach_seq[radio.radio_id]
+        if self._spatial is not None:
+            self._spatial.remove(radio.radio_id)
         for tx in self._active:
             tx.rx_power_mw.pop(radio.radio_id, None)
         self.on_radio_moved(radio.radio_id)
@@ -374,8 +476,27 @@ class Channel:
 
     @property
     def radios(self) -> List["Radio"]:
-        """All attached radios."""
-        return list(self._radios)
+        """All attached radios, in attach order (a fresh copy per call).
+
+        Safe to mutate or hold across attach/detach; hot loops should
+        use :meth:`radios_view` instead — this property builds a new
+        list on every access.
+        """
+        return list(self._radios_by_id.values())
+
+    def radios_view(self) -> ValuesView["Radio"]:
+        """Non-copying attach-ordered view of the attached radios.
+
+        The internal accessor for hot loops: a live ``dict`` values view
+        — O(1), reflects later attaches/detaches, and must not be
+        mutated or held across topology changes while iterating.
+        """
+        return self._radios_by_id.values()
+
+    @property
+    def radio_count(self) -> int:
+        """Number of attached radios (no copy)."""
+        return len(self._radios_by_id)
 
     def invalidate_link_shadowing(self, radio_id: int) -> int:
         """Drop cached per-link shadowing draws involving ``radio_id``.
@@ -399,6 +520,11 @@ class Channel:
         self._mean_rx_cache.invalidate(radio_id)
         self._link_shadowing_db.invalidate(radio_id)
         self._link_rx_mw.invalidate(radio_id)
+        if self._spatial is not None:
+            radio = self._radios_by_id.get(radio_id)
+            if radio is not None:  # detach scrubs the grid itself
+                position = radio.position  # move_to updated it already
+                self._spatial.move(radio_id, position.x, position.y)
         if self._vector_backend is not None:
             self._vector_backend.on_radio_moved(radio_id)
 
@@ -424,6 +550,122 @@ class Channel:
     def active_transmissions(self) -> List[Transmission]:
         """Transmissions currently in the air."""
         return list(self._active)
+
+    # ------------------------------------------------------------------
+    # Spatial candidate generation (REPRO_SPATIAL; see repro.phy.spatial)
+    # ------------------------------------------------------------------
+    @property
+    def spatial_index(self) -> Optional[SpatialIndex]:
+        """The hash grid, or None (off, or not yet built)."""
+        return self._spatial
+
+    @property
+    def spatial_active(self) -> bool:
+        """True when spatial candidate generation will be used."""
+        return self._spatial_pending
+
+    def prepare_spatial(self) -> Optional[SpatialIndex]:
+        """Eagerly build the grid (idempotent; None when spatial is off).
+
+        :meth:`repro.net.network.Network.finalize` calls this once the
+        topology is complete so the cell-size heuristic sees the full
+        extent and manifests/counters report the grid before traffic
+        starts.  Without it the first transmission builds the grid
+        lazily from whatever is attached at that point — still sound
+        (cell size is perf-only), possibly less well sized.
+        """
+        return self._ensure_spatial()
+
+    def _ensure_spatial(self) -> Optional[SpatialIndex]:
+        grid = self._spatial
+        if grid is not None or not self._spatial_pending:
+            return grid
+        radios = self._radios_by_id
+        if not radios:
+            return None  # defer until something is attached
+        grid = SpatialIndex(self._resolve_cell_size())
+        for radio in radios.values():
+            position = radio.position
+            grid.add(radio.radio_id, position.x, position.y)
+        self._spatial = grid
+        record_grid_built(grid.cell_size_m)
+        return grid
+
+    def _resolve_cell_size(self) -> float:
+        """Cell edge for the grid: reach radius, clamped to the extent.
+
+        A cell the size of the strongest transmitter's reach radius
+        makes a query touch ~9 cells regardless of N; clamping to the
+        topology's larger axis span keeps a floor smaller than the
+        radius from degenerating below one cell of useful resolution
+        (it becomes a 1–2 cell grid ≡ the exhaustive sweep).  Frozen at
+        first build: radios attached later may shift the extent or the
+        power maximum, which only affects constants, never soundness —
+        per-sender query radii always come from :meth:`_reach_radius`.
+        """
+        reach = self.propagation.reach_radius_m(
+            self._max_tx_power_dbm,
+            self._weakest_threshold_dbm,
+            self.cull_margin_db,
+        )
+        xs = [r.position.x for r in self._radios_by_id.values()]
+        ys = [r.position.y for r in self._radios_by_id.values()]
+        extent = max(max(xs) - min(xs), max(ys) - min(ys))
+        if extent > 0.0:
+            return min(reach, extent)
+        return reach
+
+    def _reach_radius(self, sender: "Radio") -> float:
+        """The sender's sound culling radius (memoized per tx power)."""
+        power = sender.config.tx_power_dbm
+        radius = self._reach_memo.get(power)
+        if radius is None:
+            radius = self.propagation.reach_radius_m(
+                power, self._weakest_threshold_dbm, self.cull_margin_db
+            )
+            self._reach_memo[power] = radius
+            record_reach_radius(radius)
+        return radius
+
+    def _spatial_candidates(self, sender: "Radio") -> List["Radio"]:
+        """Candidate receivers for one frame, in attach order.
+
+        A provable superset of the cull survivors (every skipped radio
+        fails ``mean + margin >= min(noise, T_cs)``); the caller still
+        runs the exact cull test per candidate.  Sorting by attach
+        sequence restores the delivery order the exhaustive loop
+        produces, keeping notification order — and therefore every
+        downstream outcome — bit-identical.
+        """
+        grid = self._spatial or self._ensure_spatial()
+        position = sender.position
+        ids = grid.query_disk(position.x, position.y, self._reach_radius(sender))
+        self.spatial_queries += 1
+        sender_id = sender.radio_id
+        ids = [i for i in ids if i != sender_id]
+        ids.sort(key=self._attach_seq.__getitem__)
+        self.spatial_candidates += len(ids)
+        by_id = self._radios_by_id
+        return [by_id[i] for i in ids]
+
+    def record_spatial_occupancy(self) -> None:
+        """Observe per-cell occupancy into ``channel/spatial_occupancy``.
+
+        One histogram sample per non-empty cell at call time — a
+        point-in-time distribution, recorded when a registry is bound
+        and the grid exists (no-op otherwise).  Called by
+        :meth:`repro.net.network.Network.finalize` after the eager grid
+        build; benches may call it again at end of run.
+        """
+        registry = self._registry
+        grid = self._spatial
+        if registry is None or grid is None:
+            return
+        histogram = registry.histogram(
+            "channel/spatial_occupancy", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        for occupancy in grid.occupancy():
+            histogram.observe(occupancy)
 
     # ------------------------------------------------------------------
     # Transmission lifecycle
@@ -452,7 +694,19 @@ class Channel:
         schedule = self.sim.schedule
         culled = 0
         receivers: List[Tuple["Radio", float]] = []
-        for radio in self._radios:
+        if self._spatial_pending:
+            # Grid pre-filter: sweep only the sender's reach disk.  The
+            # radios skipped here are exactly radios the cull test below
+            # would have rejected (reach-radius soundness), so they are
+            # charged to ``culled`` to keep the counter identical to the
+            # exhaustive path's.
+            candidates = self._spatial_candidates(sender)
+            culled = len(self._radios_by_id) - 1 - len(candidates)
+            self.spatial_skipped += culled
+            sweep = candidates
+        else:
+            sweep = self._radios_by_id.values()
+        for radio in sweep:
             if radio is sender:
                 continue
             if margin is not None:

@@ -27,6 +27,17 @@ SPEED_OF_LIGHT = 299_792_458.0
 #: Default WiFi carrier frequency (2.4 GHz band).
 DEFAULT_FREQUENCY_HZ = 2.4e9
 
+#: Relative inflation applied to :meth:`LogNormalShadowing.reach_radius_m`.
+#: The radius is computed by inverting ``path_loss_db`` through ``10 **``;
+#: re-evaluating the forward ``math.log10`` expression at the inverted
+#: distance can land within a few ULP of the target, on either side.  A
+#: 1e-9 relative pad corresponds to a ``10 * alpha * log10(1 + 1e-9)``
+#: ≈ 1e-8 dB slack — orders of magnitude above the float64 round-trip
+#: error and orders of magnitude below any physically meaningful margin —
+#: so every radio strictly beyond the padded radius provably fails the
+#: survivor test ``mean_dbm + margin >= threshold``.
+REACH_RADIUS_SLACK = 1e-9
+
 
 @dataclass(frozen=True)
 class FreeSpaceReference:
@@ -162,3 +173,30 @@ class LogNormalShadowing:
         """
         budget_db = tx_power_dbm - rx_dbm - self._reference_loss_db
         return self.reference_distance_m * 10.0 ** (budget_db / (10.0 * self.alpha))
+
+    def reach_radius_m(
+        self, tx_power_dbm: float, threshold_dbm: float, margin_db: float
+    ) -> float:
+        """Sound culling radius: beyond it, *every* receiver is culled.
+
+        The below-floor cull keeps a receiver iff its deterministic mean
+        power satisfies ``mean_dbm + margin_db >= threshold_dbm``, i.e.
+        ``mean_dbm >= threshold_dbm - margin_db``.  ``mean_rx_dbm`` is
+        non-increasing in distance (constant within ``d0``, strictly
+        decreasing beyond), so the survivor set is contained in the disk
+        of radius ``range_for_rx_dbm(tx, threshold - margin)`` — this
+        method returns that radius, floored at ``d0`` (inside the
+        reference distance the mean is distance-independent, so the
+        clamp only ever *adds* candidates) and padded by
+        :data:`REACH_RADIUS_SLACK` against the ``log10``/``10 **``
+        round-trip error.  Soundness — no radio outside the disk ever
+        survives the exhaustive cull — is property-tested in
+        ``tests/test_spatial.py``; candidates inside the disk still run
+        the exact scalar cull test, so the radius only needs to be a
+        superset bound, never tight.
+        """
+        if margin_db < 0.0:
+            raise ValueError(f"cull margin must be non-negative, got {margin_db}")
+        radius = self.range_for_rx_dbm(tx_power_dbm, threshold_dbm - margin_db)
+        radius = max(radius, self.reference_distance_m)
+        return radius * (1.0 + REACH_RADIUS_SLACK)

@@ -1,0 +1,237 @@
+"""Uniform hash-grid spatial index: O(density) candidate generation.
+
+``REPRO_SPATIAL=1`` (see :mod:`repro.util.hotpath`) bounds the channel's
+per-frame receiver sweep by *local density* instead of population.  The
+below-floor cull (PR 3) already skips draws and events for receivers
+whose mean power sits ``cull_margin_db`` below both thresholds, but the
+exhaustive loop still *visits* every attached radio to run that test —
+O(N) dict lookups and float compares per frame, the asymptotic wall for
+city-scale floors.  This module replaces the sweep's domain: radios hash
+into square grid cells keyed by ``(floor(x / cell), floor(y / cell))``,
+and a sender queries only the cells overlapping the disk of its *reach
+radius* — the distance at which the propagation mean provably falls
+``cull_margin_db`` below the weakest threshold on the channel (see
+:meth:`repro.phy.propagation.LogNormalShadowing.reach_radius_m`).
+
+Soundness over tightness
+------------------------
+
+The grid is a *pre-filter*, never a decision procedure: every candidate
+it returns still runs the exact scalar cull test, so the only
+correctness requirement is that the query returns a **superset** of the
+survivors.  That holds by construction — the reach radius is a sound
+outer bound on the survivor disk, and the query visits the full cell
+bounding box of that disk (corner cells included).  Per-node counters,
+``rx_power_mw`` maps, and per-flow goodput are therefore bit-identical
+to the exhaustive path (culled links consume no RNG draws — PR 3's
+per-link substreams — so *not visiting* a culled link is
+indistinguishable from visiting and skipping it).  The contract is
+pinned by ``tests/test_spatial_equivalence.py``.
+
+Maintenance is incremental through the channel's existing hooks:
+``attach`` inserts, ``detach`` removes, ``on_radio_moved`` rehashes one
+radio — all O(1).  ``version`` increments on every mutation so derived
+structures (the vector backend's sparse per-sender plans) can validate
+lazily instead of being invalidated eagerly.
+
+Cell sizing is a pure performance knob (correctness never depends on
+it): the channel sizes cells at the reach radius of the strongest
+transmitter, clamped to the topology extent — a query then touches ~9
+cells regardless of N, and a one-cell grid (floor smaller than the
+reach radius) degrades gracefully to the exhaustive sweep.
+"""
+
+from __future__ import annotations
+
+from math import floor, inf
+from typing import Dict, List, Set, Tuple
+
+from repro.util.hotpath import spatial_enabled  # noqa: F401  (re-export)
+
+_CellKey = Tuple[int, int]
+
+
+class SpatialIndex:
+    """Uniform hash grid over point members keyed by integer id.
+
+    Cells are created on first insert and dropped when emptied, so
+    memory is O(members + non-empty cells) regardless of the coordinate
+    range (city floors hash as cheaply as office floors).  Membership
+    mutations bump :attr:`version`; readers that cache per-member
+    derived state (the vector backend's sparse plans) compare versions
+    instead of subscribing to invalidation callbacks.
+    """
+
+    __slots__ = ("cell_size_m", "version", "_cell_of", "_cells")
+
+    def __init__(self, cell_size_m: float) -> None:
+        if not cell_size_m > 0.0:
+            raise ValueError(f"cell size must be positive, got {cell_size_m}")
+        self.cell_size_m = float(cell_size_m)
+        #: Bumped on every add/remove/move; lets derived caches validate lazily.
+        self.version = 0
+        self._cell_of: Dict[int, _CellKey] = {}
+        self._cells: Dict[_CellKey, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cell_of)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def __contains__(self, member_id: int) -> bool:
+        return member_id in self._cell_of
+
+    def _key(self, x: float, y: float) -> _CellKey:
+        c = self.cell_size_m
+        return (floor(x / c), floor(y / c))
+
+    def add(self, member_id: int, x: float, y: float) -> None:
+        """Insert a member; re-adding an existing id is an error."""
+        if member_id in self._cell_of:
+            raise ValueError(f"member {member_id} already indexed")
+        key = self._key(x, y)
+        self._cell_of[member_id] = key
+        self._cells.setdefault(key, set()).add(member_id)
+        self.version += 1
+
+    def remove(self, member_id: int) -> None:
+        """Drop a member; removing an unknown id is an error."""
+        key = self._cell_of.pop(member_id, None)
+        if key is None:
+            raise ValueError(f"member {member_id} is not indexed")
+        bucket = self._cells[key]
+        bucket.discard(member_id)
+        if not bucket:
+            del self._cells[key]
+        self.version += 1
+
+    def move(self, member_id: int, x: float, y: float) -> None:
+        """Rehash a member to its new position (no-op within its cell)."""
+        old = self._cell_of.get(member_id)
+        if old is None:
+            raise ValueError(f"member {member_id} is not indexed")
+        new = self._key(x, y)
+        if new == old:
+            # Same cell: membership unchanged, but consumers caching
+            # position-derived state (mean-power rows) must still see a
+            # new version — the *position* moved even if the cell didn't.
+            self.version += 1
+            return
+        bucket = self._cells[old]
+        bucket.discard(member_id)
+        if not bucket:
+            del self._cells[old]
+        self._cell_of[member_id] = new
+        self._cells.setdefault(new, set()).add(member_id)
+        self.version += 1
+
+    def query_disk(self, x: float, y: float, radius_m: float) -> List[int]:
+        """Ids of all members in cells overlapping the disk (a superset).
+
+        Visits the cell bounding box of the disk — members up to one
+        cell diagonal outside the radius may be returned, and callers
+        must re-test each candidate (the channel runs the exact cull
+        check).  When the box spans more cells than exist, iterates the
+        non-empty cells instead, so degenerate huge-radius queries cost
+        O(non-empty cells), never O(box area).
+        """
+        c = self.cell_size_m
+        i0 = floor((x - radius_m) / c)
+        i1 = floor((x + radius_m) / c)
+        j0 = floor((y - radius_m) / c)
+        j1 = floor((y + radius_m) / c)
+        cells = self._cells
+        out: List[int] = []
+        if (i1 - i0 + 1) * (j1 - j0 + 1) <= len(cells):
+            get = cells.get
+            for i in range(i0, i1 + 1):
+                for j in range(j0, j1 + 1):
+                    bucket = get((i, j))
+                    if bucket:
+                        out.extend(bucket)
+        else:
+            for (i, j), bucket in cells.items():
+                if i0 <= i <= i1 and j0 <= j <= j1:
+                    out.extend(bucket)
+        return out
+
+    def members(self) -> Dict[int, _CellKey]:
+        """Snapshot of every member's cell key (brute-force test oracle)."""
+        return dict(self._cell_of)
+
+    def occupancy(self) -> List[int]:
+        """Member count of each non-empty cell (order unspecified)."""
+        return [len(bucket) for bucket in self._cells.values()]
+
+
+# ----------------------------------------------------------------------
+# Process-level stats for run manifests (satellite: sweep attribution)
+# ----------------------------------------------------------------------
+class _Aggregate:
+    """Constant-memory min/max/sum/count over recorded samples."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = inf
+        self.maximum = -inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+        }
+
+
+_cell_sizes = _Aggregate()
+_reach_radii = _Aggregate()
+
+
+def record_grid_built(cell_size_m: float) -> None:
+    """Channels report each grid they size; feeds the manifest block."""
+    _cell_sizes.record(cell_size_m)
+
+
+def record_reach_radius(radius_m: float) -> None:
+    """Channels report each distinct reach radius they resolve."""
+    _reach_radii.record(radius_m)
+
+
+def reset_spatial_stats() -> None:
+    """Forget recorded stats (test isolation)."""
+    global _cell_sizes, _reach_radii
+    _cell_sizes = _Aggregate()
+    _reach_radii = _Aggregate()
+
+
+def spatial_manifest_block() -> Dict[str, object]:
+    """The ``spatial`` block recorded in run manifests.
+
+    Reports the mode flag plus cell-size / reach-radius aggregates of
+    every grid built *in this process* since the last reset.  Sweep
+    workers in a process pool size their own grids; their stats are not
+    shipped back to the parent — the block attributes the parent-side
+    configuration, and per-channel counters (``channel/spatial_*``)
+    carry the per-run detail.
+    """
+    block: Dict[str, object] = {"enabled": spatial_enabled()}
+    if _cell_sizes.count:
+        block["cell_size_m"] = _cell_sizes.as_dict()
+    if _reach_radii.count:
+        block["reach_radius_m"] = _reach_radii.as_dict()
+    return block

@@ -39,6 +39,22 @@ per-sender arrays —
   skips the per-receiver ``on_energy_changed`` dispatch entirely when
   the bound MAC's handler is the no-op PHY hook (``Radio._energy_cb``).
 
+Sparse spatial plans (``REPRO_SPATIAL`` × ``REPRO_VECTOR``)
+-----------------------------------------------------------
+
+With the channel's spatial index active the dense machinery above would
+still cost O(N) per sender (rows) and O(N²) memory across senders, so
+the backend switches to **sparse candidate-indexed plans**: per sender,
+the grid's candidate set (attach-order sorted, reach-radius sound — see
+:mod:`repro.phy.spatial`) replaces the all-slots row, and the cull test,
+mean fills, and draw matrix run over those k candidates only.  Plans
+are stamped with the grid's ``version`` (and the sender's tx power)
+and validated lazily at transmit time — mobility bumps the version, so
+a move invalidates every sender's plan in O(1) without walking them;
+stale plans retire their draw cursors before being replaced, exactly
+like dense plans, so substream consumption order is unchanged.  When
+spatial mode is off the dense path runs bit-for-bit as before.
+
 Equivalence contract
 --------------------
 
@@ -259,10 +275,20 @@ class VectorBackend:
         #: Surviving (non-culled) receiver evaluations (``channel/vector_links``).
         self.links = 0
         self._slot_of: Dict[int, int] = {}
+        #: Attach-order snapshot of the channel's radios, refreshed by
+        #: :meth:`rebuild`: dense rows index radios by slot, so they
+        #: need a positional list, which the channel no longer keeps
+        #: (its store is the insertion-ordered id dict).
+        self._radio_list: List["Radio"] = []
         self._noise_dbm = np.empty(0, dtype=np.float64)
         self._cs_dbm = np.empty(0, dtype=np.float64)
         self._noise_mw = np.empty(0, dtype=np.float64)
         self._rows: Dict[int, _MeanRow] = {}
+        #: Sparse mode (channel spatial index active): per-sender plans
+        #: stamped ``(grid_version, tx_power_dbm, plan)``, validated
+        #: lazily against the grid instead of eagerly invalidated.
+        self._sparse = channel.spatial_active
+        self._sparse_plans: Dict[int, Tuple[int, float, _SenderPlan]] = {}
         self._draws: Dict[Tuple[int, int], list] = {}
         #: In-flight transmissions' receiver lists (set at transmit,
         #: popped at end-of-air): end delivery walks the same radio
@@ -283,7 +309,8 @@ class VectorBackend:
         indices aligned with the scalar path's iteration order.  Draw
         buffers are deliberately kept — see the class docstring.
         """
-        radios = self.channel._radios
+        radios = list(self.channel.radios_view())
+        self._radio_list = radios
         self._slot_of = {r.radio_id: i for i, r in enumerate(radios)}
         self._noise_dbm = np.array(
             [r.config.noise_floor_dbm for r in radios], dtype=np.float64
@@ -296,6 +323,7 @@ class VectorBackend:
             if row.plan is not None:
                 self._retire_plan(row.plan)
         self._rows.clear()
+        self._drop_sparse_plans()
 
     def on_radio_moved(self, radio_id: int) -> None:
         """Position-dependent invalidation, mirroring the pair caches.
@@ -304,6 +332,20 @@ class VectorBackend:
         every other sender's row — O(number of senders), matching the
         O(degree) discipline of ``_PairCache.invalidate``.
         """
+        if self._sparse:
+            # The mover's own plan dies here (its means encode the old
+            # position / power).  Every *other* sender's plan is stamped
+            # with the grid version, which a real move just bumped, so
+            # they invalidate themselves lazily at next use — O(1) per
+            # move instead of a walk.  A power change doesn't bump the
+            # version, and deliberately so: other senders' plans don't
+            # depend on this radio's transmit power (its receive
+            # thresholds are what they cull against, and those are
+            # fixed after attach).
+            state = self._sparse_plans.pop(radio_id, None)
+            if state is not None:
+                self._retire_plan(state[2])
+            return
         own = self._rows.pop(radio_id, None)
         if own is not None and own.plan is not None:
             self._retire_plan(own.plan)
@@ -315,6 +357,13 @@ class VectorBackend:
             if row.plan is not None:
                 self._retire_plan(row.plan)
                 row.plan = None
+
+    def _drop_sparse_plans(self) -> None:
+        """Retire and forget every sparse plan (topology changed)."""
+        if self._sparse_plans:
+            for state in self._sparse_plans.values():
+                self._retire_plan(state[2])
+            self._sparse_plans.clear()
 
     # ------------------------------------------------------------------
     # Mean-power rows
@@ -330,7 +379,7 @@ class VectorBackend:
             if row.plan is not None:  # defensive: invalidation nulls plans
                 self._retire_plan(row.plan)
                 row.plan = None
-            radios = self.channel._radios
+            radios = self._radio_list
             propagation = self.channel.propagation
             tx_power = sender.config.tx_power_dbm
             position = sender.position
@@ -363,6 +412,8 @@ class VectorBackend:
         (float64 add/compare are IEEE-exact matches of the python-float
         expressions).  The sender never receives its own frame.
         """
+        if self._sparse:
+            return self._sparse_plan(sender)
         row = self._rows.get(sender.radio_id)
         if row is not None:
             # Fast path: a non-None plan implies the row is fully valid
@@ -382,7 +433,7 @@ class VectorBackend:
             keep = (shifted >= self._noise_dbm) | (shifted >= self._cs_dbm)
         keep[self._slot_of[sender.radio_id]] = False
         survivors = np.flatnonzero(keep)
-        radios = ch._radios
+        radios = self._radio_list
         mw_list = row.mw_list
         idx = survivors.tolist()
         rx_radios = [radios[i] for i in idx]
@@ -401,6 +452,72 @@ class VectorBackend:
         ):
             self._build_draw_matrix(plan, sender.radio_id)
         row.plan = plan
+        return plan
+
+    def _sparse_plan(self, sender: "Radio") -> _SenderPlan:
+        """The sender's plan over its grid candidate set (spatial mode).
+
+        Means, cull test, and survivor ordering are the scalar path's:
+        candidates arrive attach-order sorted from
+        :meth:`Channel._spatial_candidates` (a provable superset of the
+        cull survivors), means are filled through the exact scalar
+        expressions, and the vector cull comparison keeps exactly the
+        receivers the per-radio test keeps — so the survivor list, its
+        order, and ``plan.culled`` (grid-skipped + cull-rejected, i.e.
+        ``n_attached - 1 - survivors``) match the exhaustive sweep.
+        Validity is ``(grid version, tx power)``: any attach / detach /
+        move bumps the version, invalidating every sender's plan in
+        O(1); the superseded plan retires its draw cursor first so the
+        substream consumption order never diverges.
+        """
+        ch = self.channel
+        grid = ch._spatial or ch._ensure_spatial()
+        sender_id = sender.radio_id
+        power = sender.config.tx_power_dbm
+        state = self._sparse_plans.get(sender_id)
+        if state is not None:
+            if state[0] == grid.version and state[1] == power:
+                return state[2]
+            self._retire_plan(state[2])
+        candidates = ch._spatial_candidates(sender)
+        propagation = ch.propagation
+        position = sender.position
+        k = len(candidates)
+        ch.spatial_skipped += (len(ch._radios_by_id) - 1) - k
+        dbm = np.empty(k, dtype=np.float64)
+        mw_list = [0.0] * k
+        for i, other in enumerate(candidates):
+            mean_dbm = propagation.mean_rx_dbm(
+                power, position.distance_to(other.position)
+            )
+            dbm[i] = mean_dbm
+            mw_list[i] = dbm_to_mw(mean_dbm)
+        # Spatial mode requires an active margin (Channel gates on it).
+        shifted = dbm + ch.cull_margin_db
+        noise_dbm = np.array(
+            [r.config.noise_floor_dbm for r in candidates], dtype=np.float64
+        )
+        cs_dbm = np.array(
+            [r.config.cs_threshold_dbm for r in candidates], dtype=np.float64
+        )
+        keep = (shifted >= noise_dbm) | (shifted >= cs_dbm)
+        idx = np.flatnonzero(keep).tolist()
+        rx_radios = [candidates[i] for i in idx]
+        plan = _SenderPlan(
+            rx_radios=rx_radios,
+            rx_ids=[r.radio_id for r in rx_radios],
+            mw=[mw_list[i] for i in idx],
+            mw_arr=np.array([mw_list[i] for i in idx], dtype=np.float64),
+            noise_mw=np.array([r._noise_mw for r in rx_radios], dtype=np.float64),
+            culled=(len(ch._radios_by_id) - 1) - len(rx_radios),
+        )
+        if (
+            rx_radios
+            and ch.shadowing_mode == "per_frame"
+            and propagation.sigma_db > 0.0
+        ):
+            self._build_draw_matrix(plan, sender_id)
+        self._sparse_plans[sender_id] = (grid.version, power, plan)
         return plan
 
     # ------------------------------------------------------------------
@@ -505,6 +622,7 @@ class VectorBackend:
             if row.plan is not None:
                 self._retire_plan(row.plan)
                 row.plan = None
+        self._drop_sparse_plans()
         entry = self._draws.setdefault((tx_id, rx_id), [[], 0])
         pos = entry[1]
         if pos >= len(entry[0]):

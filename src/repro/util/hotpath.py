@@ -1,7 +1,7 @@
 """Execution-mode knobs: a small registry of env-gated feature toggles.
 
-The simulator has two performance modes, both read from the environment
-once and both overridable programmatically:
+The simulator has three performance modes, all read from the environment
+once and all overridable programmatically:
 
 ``hotpath`` (``REPRO_HOTPATH``, default **on**)
     Cached hot-path math vs. full re-derivation.  The frame hot path
@@ -26,7 +26,18 @@ once and both overridable programmatically:
     at channel construction.  Equivalence against the scalar path is
     pinned by ``tests/test_vector_equivalence.py``.
 
-Both flags are read from the environment once (consumers sit on
+``spatial`` (``REPRO_SPATIAL``, default **off**)
+    Hash-grid candidate generation (:mod:`repro.phy.spatial`): per
+    transmitted frame the channel queries a uniform grid over attached
+    radios with a per-sender *reach radius* derived from the propagation
+    model, visiting only the radios the below-floor cull could possibly
+    keep instead of every attached radio.  Requires an active
+    ``cull_margin_db`` (the reach radius is the cull boundary's
+    geometric preimage); with culling off the knob is inert and the
+    exhaustive loop runs unchanged.  Equivalence against the exhaustive
+    path is pinned by ``tests/test_spatial_equivalence.py``.
+
+All flags are read from the environment once (consumers sit on
 per-frame paths where an ``os.environ`` lookup per call would itself be
 a cost) and can be overridden programmatically — ``None`` restores
 deference to the environment.  Objects that sample a flag at
@@ -48,6 +59,9 @@ HOTPATH_ENV = "REPRO_HOTPATH"
 #: Environment knob: any other non-empty value (``1``/``on``/...) enables
 #: the vectorized channel backend.
 VECTOR_ENV = "REPRO_VECTOR"
+
+#: Environment knob: enables hash-grid spatial candidate generation.
+SPATIAL_ENV = "REPRO_SPATIAL"
 
 #: Values (lower-cased) that read as "disabled" for any mode knob.
 _DISABLED_VALUES = ("off", "0", "false", "no")
@@ -88,6 +102,7 @@ class _Mode:
 _MODES: Dict[str, _Mode] = {
     "hotpath": _Mode(env=HOTPATH_ENV, default=True),
     "vector": _Mode(env=VECTOR_ENV, default=False),
+    "spatial": _Mode(env=SPATIAL_ENV, default=False),
 }
 
 
@@ -148,3 +163,18 @@ def set_vector(enabled: Optional[bool]) -> None:
 def vector_forced(enabled: bool):
     """Pin the vector knob inside a block, restoring after."""
     return mode_forced("vector", enabled)
+
+
+def spatial_enabled() -> bool:
+    """True when hash-grid candidate generation is active (default off)."""
+    return mode_enabled("spatial")
+
+
+def set_spatial(enabled: Optional[bool]) -> None:
+    """Override the spatial knob; ``None`` defers to the environment."""
+    set_mode("spatial", enabled)
+
+
+def spatial_forced(enabled: bool):
+    """Pin the spatial knob inside a block, restoring after."""
+    return mode_forced("spatial", enabled)

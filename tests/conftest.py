@@ -79,6 +79,7 @@ def build_phy_world(
     cull_margin_db=None,
     air_latency_ns: int = 1_000,
     vector: Optional[bool] = None,
+    spatial: Optional[bool] = None,
 ) -> PhyWorld:
     """Create radios at ``positions`` with stub MACs on one channel."""
     sim = Simulator()
@@ -91,6 +92,7 @@ def build_phy_world(
         cull_margin_db=cull_margin_db,
         air_latency_ns=air_latency_ns,
         vector=vector,
+        spatial=spatial,
     )
     radios, macs = [], []
     for i, (x, y) in enumerate(positions):
